@@ -1,0 +1,240 @@
+// Benchmarks regenerating the paper's tables and figures (one benchmark
+// per artifact; see DESIGN.md's per-experiment index) plus substrate
+// micro-benchmarks for the components the paper's claims rest on: task
+// graph construction, the full vs delta simulation algorithms (Table 4's
+// subject), and the search loop.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+package flexflow
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"flexflow/internal/config"
+	"flexflow/internal/device"
+	"flexflow/internal/experiments"
+	"flexflow/internal/graph"
+	"flexflow/internal/models"
+	"flexflow/internal/perfmodel"
+	"flexflow/internal/runtime"
+	"flexflow/internal/search"
+	"flexflow/internal/sim"
+	"flexflow/internal/taskgraph"
+)
+
+// benchScale keeps benchmark iterations fast while exercising the same
+// code paths as the paper-scale runs.
+func benchScale() experiments.Scale {
+	return experiments.Scale{
+		Name:         "bench",
+		ModelFactor:  8,
+		DeviceCounts: []int{1, 4},
+		SearchIters:  60,
+		SearchBudget: 5 * time.Second,
+		Seed:         1,
+	}
+}
+
+func benchGraph(b *testing.B, name string, factor int) *graph.Graph {
+	b.Helper()
+	spec, err := models.Get(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return spec.BuildScaled(factor)
+}
+
+func newEstimator() perfmodel.Estimator {
+	return perfmodel.NewMeasuringEstimator(perfmodel.NewAnalyticModel().ExecTime, 1)
+}
+
+// --- Per-figure / per-table benchmarks -------------------------------
+
+func BenchmarkTable1ParallelizableDims(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if t := experiments.Table1(); len(t.Rows) != 4 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkFig7 measures one Figure 7 cell: baselines + search for one
+// model on one cluster size.
+func BenchmarkFig7(b *testing.B) {
+	for _, model := range []string{"alexnet", "inception-v3", "resnet-101", "rnntc", "rnnlm", "nmt"} {
+		b.Run(model, func(b *testing.B) {
+			s := benchScale()
+			for i := 0; i < b.N; i++ {
+				experiments.Fig7(s, []string{model}, []string{"P100"})
+			}
+		})
+	}
+}
+
+func BenchmarkFig8NMT(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig8(s, 4)
+	}
+}
+
+func BenchmarkFig9EndToEnd(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig9(s, 4)
+	}
+}
+
+func BenchmarkFig10aVsReinforce(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig10a(s)
+	}
+}
+
+func BenchmarkFig10bVsOptCNN(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig10b(s, 4)
+	}
+}
+
+func BenchmarkFig11SimulatorAccuracy(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig11(s, 3)
+	}
+}
+
+func BenchmarkFig12SearchCurves(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig12(s, 4)
+	}
+}
+
+// BenchmarkTable4 is the paper's headline simulator ablation: the same
+// search with the full vs the delta simulation algorithm.
+func BenchmarkTable4(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		full bool
+	}{{"full-sim", true}, {"delta-sim", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			g := benchGraph(b, "rnnlm", 8)
+			topo := device.ClusterFor("P100", 4)
+			for i := 0; i < b.N; i++ {
+				est := newEstimator()
+				opts := search.DefaultOptions()
+				opts.MaxIters = 60
+				opts.FullSim = mode.full
+				search.MCMC(g, topo, est, []*config.Strategy{config.DataParallel(g, topo)}, opts)
+			}
+		})
+	}
+}
+
+func BenchmarkFig13CaseInception(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.CaseStudy(s, "inception-v3")
+	}
+}
+
+func BenchmarkFig14CaseNMT(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		experiments.CaseStudy(s, "nmt")
+	}
+}
+
+// --- Substrate micro-benchmarks ---------------------------------------
+
+// BenchmarkTaskGraphBuild measures BUILDTASKGRAPH (Algorithm 1 line 2).
+func BenchmarkTaskGraphBuild(b *testing.B) {
+	for _, model := range []string{"inception-v3", "nmt"} {
+		b.Run(model, func(b *testing.B) {
+			g := benchGraph(b, model, 8)
+			topo := device.NewSingleNode(4, "P100")
+			s := config.DataParallel(g, topo)
+			est := newEstimator()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				taskgraph.Build(g, topo, s, est, taskgraph.Options{})
+			}
+		})
+	}
+}
+
+// BenchmarkFullSimulation measures Algorithm 1's timeline construction.
+func BenchmarkFullSimulation(b *testing.B) {
+	for _, model := range []string{"inception-v3", "nmt"} {
+		b.Run(model, func(b *testing.B) {
+			g := benchGraph(b, model, 8)
+			topo := device.NewSingleNode(4, "P100")
+			tg := taskgraph.Build(g, topo, config.DataParallel(g, topo), newEstimator(), taskgraph.Options{})
+			st := sim.NewState(tg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st.Simulate()
+			}
+		})
+	}
+}
+
+// BenchmarkDeltaSimulation measures Algorithm 2: one config change,
+// incremental re-simulation, and the revert.
+func BenchmarkDeltaSimulation(b *testing.B) {
+	for _, model := range []string{"inception-v3", "nmt"} {
+		b.Run(model, func(b *testing.B) {
+			g := benchGraph(b, model, 8)
+			topo := device.NewSingleNode(4, "P100")
+			tg := taskgraph.Build(g, topo, config.DataParallel(g, topo), newEstimator(), taskgraph.Options{})
+			st := sim.NewState(tg)
+			st.Simulate()
+			rng := rand.New(rand.NewSource(1))
+			ops := g.ComputeOps()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				op := ops[rng.Intn(len(ops))]
+				old := tg.Strat.Config(op.ID).Clone()
+				cs := tg.ReplaceConfig(op.ID, config.RandomConfig(op, topo, rng))
+				st.ApplyDelta(cs)
+				cs = tg.ReplaceConfig(op.ID, old)
+				st.ApplyDelta(cs)
+			}
+		})
+	}
+}
+
+// BenchmarkRuntimeEmulation measures one "real" iteration of the
+// distributed-runtime emulator.
+func BenchmarkRuntimeEmulation(b *testing.B) {
+	g := benchGraph(b, "inception-v3", 8)
+	topo := device.NewSingleNode(4, "P100")
+	tg := taskgraph.Build(g, topo, config.DataParallel(g, topo), newEstimator(), taskgraph.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runtime.Execute(tg, runtime.DefaultOptions(int64(i)))
+	}
+}
+
+// BenchmarkMeasuringEstimator shows the signature cache collapsing
+// repeated queries (the "tens of milliseconds" profiling claim).
+func BenchmarkMeasuringEstimator(b *testing.B) {
+	g := benchGraph(b, "nmt", 8)
+	topo := device.NewSingleNode(4, "P100")
+	analytic := perfmodel.NewAnalyticModel()
+	est := perfmodel.NewMeasuringEstimator(analytic.ExecTime, 1)
+	dev := topo.Device(0)
+	ops := g.ComputeOps()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := ops[i%len(ops)]
+		est.ExecTime(op, op.Out.FullRegion(), dev, perfmodel.Forward)
+	}
+}

@@ -1,0 +1,57 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section. Each experiment prints its rows plus notes naming
+// the paper numbers whose shape it reproduces; DESIGN.md maps experiment
+// IDs to paper artifacts.
+//
+// Examples:
+//
+//	experiments -list
+//	experiments -exp fig8
+//	experiments -exp all
+//	experiments -exp fig7 -full        # paper-scale (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"flexflow/internal/experiments"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "", "experiment ID, or \"all\"")
+		list = flag.Bool("list", false, "list experiment IDs and exit")
+		full = flag.Bool("full", false, "paper-scale settings (slow); default is quick scale")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, id := range experiments.IDs() {
+			fmt.Println("  " + id)
+		}
+		fmt.Println("  all")
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+	scale := experiments.Quick()
+	if *full {
+		scale = experiments.Full()
+	}
+	start := time.Now()
+	tables, err := experiments.Run(*exp, scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, t := range tables {
+		fmt.Println(t.Render())
+	}
+	fmt.Printf("%s finished in %v at scale %q\n", strings.ToLower(*exp), time.Since(start).Round(time.Millisecond), scale.Name)
+}

@@ -1,0 +1,144 @@
+// Command flexflow searches for a parallelization strategy for one of
+// the paper's benchmark DNNs on a chosen cluster and reports what it
+// found, comparing against the data-parallel and expert baselines.
+//
+// Examples:
+//
+//	flexflow -model nmt -cluster p100 -gpus 16 -iters 2000
+//	flexflow -model inception-v3 -cluster k80 -gpus 4 -scale 8 -verbose
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"flexflow"
+)
+
+func main() {
+	var (
+		model    = flag.String("model", "inception-v3", "benchmark model (alexnet, inception-v3, resnet-101, rnntc, rnnlm, nmt, lenet)")
+		cluster  = flag.String("cluster", "p100", "cluster type: p100 or k80")
+		gpus     = flag.Int("gpus", 4, "number of GPUs")
+		scale    = flag.Int("scale", 8, "model scale divisor (1 = paper-scale batch/steps)")
+		iters    = flag.Int("iters", 1000, "MCMC proposals per initial strategy")
+		budget   = flag.Duration("budget", 30*time.Second, "wall-clock search budget per chain")
+		seed     = flag.Int64("seed", 1, "search seed")
+		verbose  = flag.Bool("verbose", false, "print the per-op configuration of the best strategy")
+		export   = flag.String("export", "", "write the best strategy to this JSON file")
+		importF  = flag.String("import", "", "evaluate a previously exported strategy instead of searching")
+		timeline = flag.Bool("timeline", false, "render the best strategy's schedule as an ASCII Gantt chart")
+		memCheck = flag.Bool("mem", false, "report per-device memory footprint of the best strategy")
+	)
+	flag.Parse()
+
+	g, err := flexflow.ModelScaled(*model, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var topo *flexflow.Topology
+	switch strings.ToLower(*cluster) {
+	case "p100":
+		if *gpus <= 4 {
+			topo = flexflow.NewSingleNode(*gpus, "P100")
+		} else {
+			topo = flexflow.NewP100Cluster((*gpus + 3) / 4)
+		}
+	case "k80":
+		if *gpus <= 4 {
+			topo = flexflow.NewSingleNode(*gpus, "K80")
+		} else {
+			topo = flexflow.NewK80Cluster((*gpus + 3) / 4)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown cluster %q (want p100 or k80)\n", *cluster)
+		os.Exit(1)
+	}
+
+	fmt.Printf("model: %s\n", g)
+	fmt.Printf("cluster: %s with %d GPUs\n\n", topo.Name, len(topo.GPUs()))
+
+	dp := flexflow.DataParallel(g, topo)
+	dpTime, dpMetrics := flexflow.Simulate(g, topo, dp)
+	fmt.Printf("data parallelism:   %-12v (%.1f MB transfers/iter)\n", dpTime, float64(dpMetrics.CommBytes)/1e6)
+
+	ex := flexflow.ExpertDesigned(g, topo)
+	exTime, exMetrics := flexflow.Simulate(g, topo, ex)
+	fmt.Printf("expert-designed:    %-12v (%.1f MB transfers/iter)\n", exTime, float64(exMetrics.CommBytes)/1e6)
+
+	var res flexflow.SearchResult
+	if *importF != "" {
+		data, err := os.ReadFile(*importF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		s, err := flexflow.ImportStrategy(data, g, topo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cost, _ := flexflow.Simulate(g, topo, s)
+		res = flexflow.SearchResult{Best: s, BestCost: cost}
+		fmt.Printf("imported strategy:  %-12v (from %s)\n", cost, *importF)
+	} else {
+		res = flexflow.Search(g, topo, flexflow.SearchOptions{
+			MaxIters: *iters, Budget: *budget, Seed: *seed, IncludeExpert: true,
+		})
+		fmt.Printf("search: %d proposals in %v\n", res.Iters, res.SearchTime)
+	}
+	_, ffMetrics := flexflow.Simulate(g, topo, res.Best)
+	fmt.Printf("flexflow strategy:  %-12v (%.1f MB transfers/iter)\n\n", res.BestCost, float64(ffMetrics.CommBytes)/1e6)
+	fmt.Printf("speedup vs data parallelism: %.2fx\n", float64(dpTime)/float64(res.BestCost))
+	fmt.Printf("speedup vs expert-designed:  %.2fx\n", float64(exTime)/float64(res.BestCost))
+
+	if *export != "" {
+		data, err := flexflow.ExportStrategy(g, res.Best)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*export, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("strategy exported to %s\n", *export)
+	}
+	if *timeline {
+		fmt.Println()
+		fmt.Print(flexflow.RenderTimeline(g, topo, res.Best, 100, false))
+	}
+	if *memCheck {
+		fmt.Println("\nper-device memory footprint:")
+		fp := flexflow.MemoryFootprint(g, topo, res.Best, flexflow.MemoryModel{})
+		for id := 0; id < topo.NumDevices(); id++ {
+			if b, ok := fp[id]; ok {
+				d := topo.Device(id)
+				fmt.Printf("  %-14s %8.2f MB (capacity %.0f GB)\n", d.Name, float64(b)/1e6, d.MemGB)
+			}
+		}
+		if err := flexflow.CheckMemory(g, topo, res.Best, flexflow.MemoryModel{}); err != nil {
+			fmt.Printf("  WARNING: %v\n", err)
+		} else {
+			fmt.Println("  strategy fits on every device")
+		}
+	}
+
+	if *verbose {
+		fmt.Println("\nbest strategy (per op):")
+		type row struct{ name, cfg string }
+		var rows []row
+		for _, op := range g.ComputeOps() {
+			rows = append(rows, row{op.Name, res.Best.Config(op.ID).String()})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+		for _, r := range rows {
+			fmt.Printf("  %-28s %s\n", r.name, r.cfg)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// NMT walkthrough: reproduce the Figure 14 case study — search for a
+// strategy for the neural machine translation model on four P100 GPUs
+// and inspect how different layers end up parallelized differently
+// (the paper's Section 8.5 observations: small layers shrink onto few
+// GPUs, the parameter-heavy softmax splits its channel dimension, and
+// recurrent layers combine intra- and inter-op parallelism).
+//
+//	go run ./examples/nmt
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"flexflow"
+)
+
+func main() {
+	// A reduced NMT (batch 16, 10 unroll steps) keeps the demo under a
+	// minute; pass factor 1 logic via cmd/flexflow for paper scale.
+	g, err := flexflow.ModelScaled("nmt", 4)
+	if err != nil {
+		panic(err)
+	}
+	topo := flexflow.NewSingleNode(4, "P100")
+	fmt.Println(g)
+
+	dpTime, dpM := flexflow.Simulate(g, topo, flexflow.DataParallel(g, topo))
+	exTime, _ := flexflow.Simulate(g, topo, flexflow.ExpertDesigned(g, topo))
+
+	res := flexflow.Search(g, topo, flexflow.SearchOptions{
+		MaxIters:      4000,
+		Budget:        30 * time.Second,
+		IncludeExpert: true,
+	})
+	_, ffM := flexflow.Simulate(g, topo, res.Best)
+
+	fmt.Printf("\nper-iteration time:\n")
+	fmt.Printf("  data parallelism:  %v\n", dpTime)
+	fmt.Printf("  expert (GNMT-style): %v\n", exTime)
+	fmt.Printf("  flexflow:          %v  (%.2fx vs data parallelism)\n",
+		res.BestCost, float64(dpTime)/float64(res.BestCost))
+	fmt.Printf("parameter sync traffic: %.1f MB -> %.1f MB per iteration\n",
+		float64(dpM.SyncBytes)/1e6, float64(ffM.SyncBytes)/1e6)
+
+	// Summarize the strategy per layer group, Figure-14 style.
+	fmt.Println("\nper-layer parallelization (degrees over output dims):")
+	groups := map[string][]string{}
+	var names []string
+	for _, op := range g.ComputeOps() {
+		key := op.Name
+		if i := strings.IndexByte(key, '.'); i >= 0 {
+			key = key[:i]
+		}
+		c := res.Best.Config(op.ID)
+		desc := fmt.Sprintf("%v", c.Degrees)
+		if _, ok := groups[key]; !ok {
+			names = append(names, key)
+		}
+		groups[key] = append(groups[key], desc)
+	}
+	sort.Strings(names)
+	for _, key := range names {
+		// Most steps of a layer share a config; show the mode.
+		counts := map[string]int{}
+		for _, d := range groups[key] {
+			counts[d]++
+		}
+		best, n := "", 0
+		for d, c := range counts {
+			if c > n {
+				best, n = d, c
+			}
+		}
+		fmt.Printf("  %-14s x%-3d typical degrees %s\n", key, len(groups[key]), best)
+	}
+}

@@ -1,0 +1,52 @@
+// Quickstart: define a small CNN, describe the machine, and let the
+// execution optimizer find a parallelization strategy for it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"flexflow"
+)
+
+func main() {
+	// 1. The operator graph (Section 3.1): ops are nodes, tensors edges.
+	g := flexflow.NewGraph("quickstart-cnn")
+	x := g.Input4D("images", 64, 3, 32, 32)
+	c1 := g.Conv2D("conv1", x, 32, 3, 3, 1, 1, 1, 1)
+	p1 := g.Pool2D("pool1", c1, 2, 2, 2, 2, 0, 0)
+	c2 := g.Conv2D("conv2", p1, 64, 3, 3, 1, 1, 1, 1)
+	p2 := g.Pool2D("pool2", c2, 2, 2, 2, 2, 0, 0)
+	f := g.Flatten("flatten", p2)
+	d := g.Dense("fc1", f, 512)
+	g.SoftmaxClassifier("classifier", d, 10)
+	fmt.Println(g)
+
+	// 2. The device topology: a single machine with four P100 GPUs.
+	topo := flexflow.NewSingleNode(4, "P100")
+
+	// 3. Baselines: what existing frameworks would do.
+	dp := flexflow.DataParallel(g, topo)
+	dpTime, dpM := flexflow.Simulate(g, topo, dp)
+	fmt.Printf("\ndata parallelism:  %v/iteration, %.2f MB moved\n", dpTime, float64(dpM.CommBytes)/1e6)
+
+	// 4. The execution optimizer: MCMC over the SOAP space with the
+	// execution simulator as cost oracle.
+	res := flexflow.Search(g, topo, flexflow.SearchOptions{
+		MaxIters: 1500,
+		Budget:   10 * time.Second,
+	})
+	_, ffM := flexflow.Simulate(g, topo, res.Best)
+	fmt.Printf("flexflow strategy: %v/iteration, %.2f MB moved (found in %v, %d proposals)\n",
+		res.BestCost, float64(ffM.CommBytes)/1e6, res.SearchTime, res.Iters)
+	fmt.Printf("speedup: %.2fx\n", float64(dpTime)/float64(res.BestCost))
+
+	// 5. Safety net: the found strategy computes exactly what the
+	// unpartitioned graph computes (real float32 kernels, forward pass).
+	if err := flexflow.VerifyStrategy(g, res.Best); err != nil {
+		panic(err)
+	}
+	fmt.Println("numeric equivalence of the found strategy: verified")
+}

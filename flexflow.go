@@ -1,0 +1,226 @@
+// Package flexflow is a Go reproduction of "Beyond Data and Model
+// Parallelism for Deep Neural Networks" (Jia, Zaharia, Aiken; MLSys
+// 2019): the SOAP search space of parallelization strategies, the
+// execution simulator with its full and delta algorithms, and the MCMC
+// execution optimizer, together with the baselines the paper evaluates
+// against and an emulated distributed runtime.
+//
+// The top-level package is a facade over the internal packages; see
+// README.md for a tour and DESIGN.md for the architecture and the
+// paper-to-module map.
+//
+// A minimal end-to-end use:
+//
+//	g := flexflow.NewGraph("mlp")
+//	x := g.Input4D("images", 64, 3, 32, 32)
+//	c := g.Conv2D("conv1", x, 32, 3, 3, 1, 1, 1, 1)
+//	f := g.Flatten("flat", c)
+//	g.Dense("fc", f, 128)
+//
+//	topo := flexflow.NewSingleNode(4, "P100")
+//	res := flexflow.Search(g, topo, flexflow.SearchOptions{})
+//	fmt.Println("best per-iteration time:", res.BestCost)
+package flexflow
+
+import (
+	"time"
+
+	"flexflow/internal/config"
+	"flexflow/internal/device"
+	"flexflow/internal/exec"
+	"flexflow/internal/graph"
+	"flexflow/internal/memory"
+	"flexflow/internal/models"
+	"flexflow/internal/perfmodel"
+	"flexflow/internal/runtime"
+	"flexflow/internal/search"
+	"flexflow/internal/sim"
+	"flexflow/internal/taskgraph"
+	"flexflow/internal/viz"
+)
+
+// Core model/machine types.
+type (
+	// Graph is an operator graph (Section 3.1).
+	Graph = graph.Graph
+	// Op is an operation node of the graph.
+	Op = graph.Op
+	// Topology is a device topology D = (D_N, D_E).
+	Topology = device.Topology
+	// Device is a compute device.
+	Device = device.Device
+	// Strategy maps every operation to a parallelization configuration.
+	Strategy = config.Strategy
+	// Config is one operation's parallelization configuration.
+	Config = config.Config
+	// Metrics aggregates per-strategy statistics (transfers, compute).
+	Metrics = taskgraph.Metrics
+	// Estimator predicts task execution times.
+	Estimator = perfmodel.Estimator
+)
+
+// NewGraph creates an empty operator graph.
+func NewGraph(name string) *Graph { return graph.New(name) }
+
+// NewSingleNode builds a single machine with n GPUs ("P100" or "K80").
+func NewSingleNode(gpus int, model string) *Topology { return device.NewSingleNode(gpus, model) }
+
+// NewP100Cluster builds the paper's P100 cluster (Figure 6a) with the
+// given node count (4 GPUs per node, NVLink intra-node, EDR IB across).
+func NewP100Cluster(nodes int) *Topology { return device.NewP100Cluster(nodes) }
+
+// NewK80Cluster builds the paper's K80 cluster (Figure 6b).
+func NewK80Cluster(nodes int) *Topology { return device.NewK80Cluster(nodes) }
+
+// NewEstimator returns the default performance model: a measuring
+// estimator (one measurement per distinct task signature, cached — the
+// paper's profiling flow) over the synthetic analytic device model.
+func NewEstimator() Estimator {
+	return perfmodel.NewMeasuringEstimator(perfmodel.NewAnalyticModel().ExecTime, 1)
+}
+
+// Baseline strategies.
+
+// DataParallel returns the default strategy of existing frameworks.
+func DataParallel(g *Graph, topo *Topology) *Strategy { return config.DataParallel(g, topo) }
+
+// ModelParallel returns whole-op placement round-robin over GPUs.
+func ModelParallel(g *Graph, topo *Topology) *Strategy { return config.ModelParallel(g, topo) }
+
+// ExpertDesigned returns the expert-designed strategy the paper
+// benchmarks (one-weird-trick for CNNs, the GNMT scheme for RNNs).
+func ExpertDesigned(g *Graph, topo *Topology) *Strategy { return config.Expert(g, topo) }
+
+// Model builds one of the paper's benchmark DNNs ("alexnet",
+// "inception-v3", "resnet-101", "rnntc", "rnnlm", "nmt", "lenet") at its
+// paper-scale batch size and unroll length.
+func Model(name string) (*Graph, error) {
+	spec, err := models.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return spec.BuildPaper(), nil
+}
+
+// ModelScaled builds a benchmark DNN with batch/steps divided by factor
+// (for quick experiments).
+func ModelScaled(name string, factor int) (*Graph, error) {
+	spec, err := models.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return spec.BuildScaled(factor), nil
+}
+
+// Simulate predicts the per-iteration execution time of a strategy with
+// the execution simulator and reports strategy metrics.
+func Simulate(g *Graph, topo *Topology, s *Strategy) (time.Duration, Metrics) {
+	return search.Evaluate(g, topo, NewEstimator(), s, taskgraph.Options{})
+}
+
+// SearchOptions configure the execution optimizer.
+type SearchOptions struct {
+	// MaxIters caps MCMC proposals per initial strategy (default 2000).
+	MaxIters int
+	// Budget caps wall-clock search time per chain (0 = none).
+	Budget time.Duration
+	// Beta is the Metropolis-Hastings temperature (default 15).
+	Beta float64
+	// Seed makes the search reproducible (default 1).
+	Seed int64
+	// IncludeExpert adds the expert-designed strategy to the initial
+	// candidates alongside data parallelism and a random strategy.
+	IncludeExpert bool
+}
+
+// SearchResult is the outcome of the execution optimizer.
+type SearchResult struct {
+	// Best is the best strategy discovered.
+	Best *Strategy
+	// BestCost is its simulated per-iteration time.
+	BestCost time.Duration
+	// Iters counts evaluated proposals; SearchTime the wall clock spent.
+	Iters      int
+	SearchTime time.Duration
+}
+
+// Search runs the FlexFlow execution optimizer (Section 6) and returns
+// the best strategy discovered.
+func Search(g *Graph, topo *Topology, o SearchOptions) SearchResult {
+	opts := search.DefaultOptions()
+	if o.MaxIters > 0 {
+		opts.MaxIters = o.MaxIters
+	}
+	if o.Budget > 0 {
+		opts.Budget = o.Budget
+	}
+	if o.Beta > 0 {
+		opts.Beta = o.Beta
+	}
+	if o.Seed != 0 {
+		opts.Seed = o.Seed
+	}
+	res := search.MCMC(g, topo, NewEstimator(), search.Initials(g, topo, opts.Seed, o.IncludeExpert), opts)
+	return SearchResult{Best: res.Best, BestCost: res.BestCost, Iters: res.Iters, SearchTime: res.SearchTime}
+}
+
+// EmulateHardware runs one training iteration of the strategy on the
+// emulated distributed runtime (noisy task times, dispatch overhead,
+// imperfect bandwidth) and returns the "measured" iteration time — the
+// ground truth the simulator is validated against in Figure 11.
+func EmulateHardware(g *Graph, topo *Topology, s *Strategy, seed int64) time.Duration {
+	tg := taskgraph.Build(g, topo, s, NewEstimator(), taskgraph.Options{})
+	return runtime.Execute(tg, runtime.DefaultOptions(seed)).Makespan
+}
+
+// VerifyStrategy numerically executes the forward pass under the
+// strategy (real float32 kernels, tasks restricted to their inferred
+// input regions) and confirms it equals the unpartitioned computation.
+func VerifyStrategy(g *Graph, s *Strategy) error { return exec.Check(g, s) }
+
+// CriticalPath returns the dependency-chain lower bound of a strategy's
+// iteration time (no schedule can beat it).
+func CriticalPath(g *Graph, topo *Topology, s *Strategy) time.Duration {
+	tg := taskgraph.Build(g, topo, s, NewEstimator(), taskgraph.Options{})
+	return sim.CriticalPathLowerBound(tg)
+}
+
+// MemoryModel configures memory-footprint accounting.
+type MemoryModel = memory.Model
+
+// CheckMemory verifies the strategy's per-device footprint (weights,
+// gradients, optimizer state, retained activations) fits every device's
+// capacity. The returned error names the first overflowing device.
+func CheckMemory(g *Graph, topo *Topology, s *Strategy, m MemoryModel) error {
+	return memory.Check(g, topo, s, m)
+}
+
+// MemoryFootprint returns per-device memory usage in bytes.
+func MemoryFootprint(g *Graph, topo *Topology, s *Strategy, m MemoryModel) map[int]int64 {
+	out := map[int]int64{}
+	for dev, u := range memory.Footprint(g, topo, s, m) {
+		out[dev] = u.Total()
+	}
+	return out
+}
+
+// RenderTimeline simulates the strategy and renders its per-device
+// schedule as an ASCII Gantt chart (the textual Figure 5).
+func RenderTimeline(g *Graph, topo *Topology, s *Strategy, width int, showLinks bool) string {
+	tg := taskgraph.Build(g, topo, s, NewEstimator(), taskgraph.Options{})
+	st := sim.NewState(tg)
+	st.Simulate()
+	return viz.Timeline(st, viz.Options{Width: width, ShowLinks: showLinks})
+}
+
+// ExportStrategy serializes a strategy as JSON (op-name keyed, stable
+// across graph rebuilds).
+func ExportStrategy(g *Graph, s *Strategy) ([]byte, error) {
+	return config.MarshalStrategy(g, s)
+}
+
+// ImportStrategy parses a strategy exported by ExportStrategy and
+// validates it against the graph and topology.
+func ImportStrategy(data []byte, g *Graph, topo *Topology) (*Strategy, error) {
+	return config.UnmarshalStrategy(data, g, topo)
+}

@@ -1,0 +1,247 @@
+// Package config defines parallelization configurations and strategies
+// (Section 4 of the paper). A configuration c_i of operation o_i chooses
+// a degree of parallelism for each parallelizable dimension of o_i's
+// output tensor and assigns each resulting task to a device; a strategy
+// S maps every operation to a configuration.
+package config
+
+import (
+	"fmt"
+	"sort"
+
+	"flexflow/internal/device"
+	"flexflow/internal/graph"
+	"flexflow/internal/tensor"
+)
+
+// Config is a parallelization configuration for one operation.
+type Config struct {
+	// Degrees holds the parallelism degree for every output dimension
+	// (1 for unpartitioned dimensions). len(Degrees) == op.Out.Rank().
+	Degrees []int
+	// Devices assigns a device ID to each task, indexed by the flat grid
+	// index (row-major over Degrees). len(Devices) == product(Degrees).
+	Devices []int
+}
+
+// NumTasks returns |c|, the number of tasks the config creates.
+func (c *Config) NumTasks() int { return tensor.GridVolume(c.Degrees) }
+
+// Clone deep-copies the config.
+func (c *Config) Clone() *Config {
+	out := &Config{Degrees: make([]int, len(c.Degrees)), Devices: make([]int, len(c.Devices))}
+	copy(out.Degrees, c.Degrees)
+	copy(out.Devices, c.Devices)
+	return out
+}
+
+// Equal reports whether two configs are identical.
+func (c *Config) Equal(o *Config) bool {
+	if o == nil || len(c.Degrees) != len(o.Degrees) || len(c.Devices) != len(o.Devices) {
+		return false
+	}
+	for i := range c.Degrees {
+		if c.Degrees[i] != o.Degrees[i] {
+			return false
+		}
+	}
+	for i := range c.Devices {
+		if c.Devices[i] != o.Devices[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Config) String() string {
+	return fmt.Sprintf("deg=%v dev=%v", c.Degrees, c.Devices)
+}
+
+// Validate checks the config against its op and topology.
+func (c *Config) Validate(op *graph.Op, topo *device.Topology) error {
+	if len(c.Degrees) != op.Out.Rank() {
+		return fmt.Errorf("config: op %q degrees rank %d != output rank %d", op.Name, len(c.Degrees), op.Out.Rank())
+	}
+	for i, d := range c.Degrees {
+		if d < 1 {
+			return fmt.Errorf("config: op %q degree[%d] = %d", op.Name, i, d)
+		}
+		if d > op.Out.Size(i) {
+			return fmt.Errorf("config: op %q degree[%d] = %d exceeds dim size %d", op.Name, i, d, op.Out.Size(i))
+		}
+		if d > 1 && op.Out.Kind(i) == tensor.Unsplittable {
+			return fmt.Errorf("config: op %q partitions unsplittable dim %d", op.Name, i)
+		}
+	}
+	if len(c.Devices) != c.NumTasks() {
+		return fmt.Errorf("config: op %q has %d device assignments for %d tasks", op.Name, len(c.Devices), c.NumTasks())
+	}
+	for k, dev := range c.Devices {
+		if dev < 0 || dev >= topo.NumDevices() {
+			return fmt.Errorf("config: op %q task %d assigned to unknown device %d", op.Name, k, dev)
+		}
+	}
+	return nil
+}
+
+// Strategy is a parallelization strategy: one config per op, indexed by
+// op ID. Input ops may carry a nil config (they produce data wherever
+// their consumers need it).
+type Strategy struct {
+	Configs []*Config
+}
+
+// NewStrategy allocates an empty strategy for a graph.
+func NewStrategy(g *graph.Graph) *Strategy {
+	return &Strategy{Configs: make([]*Config, g.NumOps())}
+}
+
+// Config returns the config of the op (nil for unconfigured inputs).
+func (s *Strategy) Config(opID int) *Config { return s.Configs[opID] }
+
+// Set replaces the config of an op.
+func (s *Strategy) Set(opID int, c *Config) { s.Configs[opID] = c }
+
+// Clone deep-copies the strategy.
+func (s *Strategy) Clone() *Strategy {
+	out := &Strategy{Configs: make([]*Config, len(s.Configs))}
+	for i, c := range s.Configs {
+		if c != nil {
+			out.Configs[i] = c.Clone()
+		}
+	}
+	return out
+}
+
+// Equal reports whether two strategies assign identical configs.
+func (s *Strategy) Equal(o *Strategy) bool {
+	if len(s.Configs) != len(o.Configs) {
+		return false
+	}
+	for i, c := range s.Configs {
+		oc := o.Configs[i]
+		if (c == nil) != (oc == nil) {
+			return false
+		}
+		if c != nil && !c.Equal(oc) {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks every config against its op.
+func (s *Strategy) Validate(g *graph.Graph, topo *device.Topology) error {
+	if len(s.Configs) != g.NumOps() {
+		return fmt.Errorf("config: strategy has %d configs for %d ops", len(s.Configs), g.NumOps())
+	}
+	for _, op := range g.Ops {
+		c := s.Configs[op.ID]
+		if op.Kind == graph.Input {
+			continue
+		}
+		if c == nil {
+			return fmt.Errorf("config: op %q has no config", op.Name)
+		}
+		if err := c.Validate(op, topo); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DevicesUsed returns the sorted set of devices any task is assigned to.
+func (s *Strategy) DevicesUsed() []int {
+	seen := map[int]bool{}
+	for _, c := range s.Configs {
+		if c == nil {
+			continue
+		}
+		for _, d := range c.Devices {
+			seen[d] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// unit returns an all-ones degree vector for the op.
+func unit(op *graph.Op) []int {
+	deg := make([]int, op.Out.Rank())
+	for i := range deg {
+		deg[i] = 1
+	}
+	return deg
+}
+
+// OnDevice builds the trivial config running the whole op as one task on
+// the given device.
+func OnDevice(op *graph.Op, dev int) *Config {
+	return &Config{Degrees: unit(op), Devices: []int{dev}}
+}
+
+// SampleParallel builds a config partitioning only the sample dimension
+// across the given devices (classic data parallelism for one op). The
+// degree is capped at the batch size.
+func SampleParallel(op *graph.Op, devices []int) *Config {
+	sampleDim := 0 // builders always put sample first
+	n := len(devices)
+	if max := op.Out.Size(sampleDim); n > max {
+		n = max
+	}
+	deg := unit(op)
+	deg[sampleDim] = n
+	return &Config{Degrees: deg, Devices: append([]int{}, devices[:n]...)}
+}
+
+// ParamParallel builds a config partitioning the first Parameter
+// dimension across the devices (classic model parallelism within a
+// layer). Falls back to OnDevice if the op has no parameter dimension.
+func ParamParallel(op *graph.Op, devices []int) *Config {
+	pd := -1
+	for i := 0; i < op.Out.Rank(); i++ {
+		if op.Out.Kind(i) == tensor.Parameter {
+			pd = i
+			break
+		}
+	}
+	if pd < 0 {
+		return OnDevice(op, devices[0])
+	}
+	n := len(devices)
+	if max := op.Out.Size(pd); n > max {
+		n = max
+	}
+	deg := unit(op)
+	deg[pd] = n
+	return &Config{Degrees: deg, Devices: append([]int{}, devices[:n]...)}
+}
+
+// DataParallel returns the strategy used by existing deep learning
+// systems as their default: every op partitioned in the sample dimension
+// across all GPUs.
+func DataParallel(g *graph.Graph, topo *device.Topology) *Strategy {
+	gpus := topo.GPUs()
+	s := NewStrategy(g)
+	for _, op := range g.ComputeOps() {
+		s.Set(op.ID, SampleParallel(op, gpus))
+	}
+	return s
+}
+
+// ModelParallel returns pure model parallelism: each op runs unsplit on
+// one GPU, ops distributed round-robin in topological order (Section 2's
+// "assigns disjoint subsets of a neural network each to a dedicated
+// device").
+func ModelParallel(g *graph.Graph, topo *device.Topology) *Strategy {
+	gpus := topo.GPUs()
+	s := NewStrategy(g)
+	for i, op := range g.ComputeOps() {
+		s.Set(op.ID, OnDevice(op, gpus[i%len(gpus)]))
+	}
+	return s
+}

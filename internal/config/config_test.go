@@ -1,0 +1,329 @@
+package config
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"flexflow/internal/device"
+	"flexflow/internal/graph"
+	"flexflow/internal/tensor"
+)
+
+func cnnGraph() *graph.Graph {
+	g := graph.New("cnn")
+	x := g.Input4D("x", 16, 3, 32, 32)
+	c := g.Conv2D("conv", x, 8, 3, 3, 1, 1, 1, 1)
+	p := g.Pool2D("pool", c, 2, 2, 2, 2, 0, 0)
+	f := g.Flatten("flat", p)
+	g.Dense("fc", f, 10)
+	return g
+}
+
+func rnnGraph() *graph.Graph {
+	g := graph.New("rnn")
+	ids := g.InputSeq("tok", 16, 4)
+	emb := g.Embedding("emb", ids, 100, 32)
+	emb.Layer = 0
+	var prev *graph.Op
+	for s := 0; s < 4; s++ {
+		prev = g.LSTMStep(fmt.Sprintf("l0.t%d", s), emb, prev, s, 64)
+		prev.Layer = 1
+	}
+	sm := g.SoftmaxClassifier("sm", prev, 100)
+	sm.Layer = 2
+	return g
+}
+
+func TestConfigBasics(t *testing.T) {
+	g := cnnGraph()
+	topo := device.NewSingleNode(4, "P100")
+	conv := g.Op(1)
+
+	c := SampleParallel(conv, topo.GPUs())
+	if c.NumTasks() != 4 {
+		t.Fatalf("NumTasks = %d", c.NumTasks())
+	}
+	if err := c.Validate(conv, topo); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	cl := c.Clone()
+	if !cl.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	cl.Devices[0] = 1
+	if cl.Equal(c) {
+		t.Fatal("mutated clone still equal")
+	}
+	if !c.Equal(c.Clone()) || c.Equal(nil) {
+		t.Fatal("Equal misbehaves")
+	}
+	if c.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestConfigValidateFailures(t *testing.T) {
+	g := cnnGraph()
+	topo := device.NewSingleNode(4, "P100")
+	conv := g.Op(1)
+
+	cases := []*Config{
+		{Degrees: []int{2, 1, 1}, Devices: []int{0, 1}},         // wrong rank
+		{Degrees: []int{0, 1, 1, 1}, Devices: []int{0}},         // degree < 1
+		{Degrees: []int{32, 1, 1, 1}, Devices: make([]int, 32)}, // exceeds dim
+		{Degrees: []int{2, 1, 1, 1}, Devices: []int{0}},         // device count
+		{Degrees: []int{2, 1, 1, 1}, Devices: []int{0, 99}},     // unknown device
+	}
+	for i, c := range cases {
+		if err := c.Validate(conv, topo); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+	// Unsplittable dim: input channel of the Input op.
+	x := g.Op(0)
+	bad := &Config{Degrees: []int{1, 3, 1, 1}, Devices: []int{0, 1, 2}}
+	if err := bad.Validate(x, topo); err == nil {
+		t.Error("unsplittable partition should fail")
+	}
+}
+
+func TestDataParallelStrategy(t *testing.T) {
+	g := cnnGraph()
+	topo := device.NewSingleNode(4, "P100")
+	s := DataParallel(g, topo)
+	if err := s.Validate(g, topo); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	for _, op := range g.ComputeOps() {
+		c := s.Config(op.ID)
+		if c.Degrees[0] != 4 {
+			t.Fatalf("op %q sample degree = %d, want 4", op.Name, c.Degrees[0])
+		}
+		for i := 1; i < len(c.Degrees); i++ {
+			if c.Degrees[i] != 1 {
+				t.Fatalf("op %q non-sample degree %d", op.Name, c.Degrees[i])
+			}
+		}
+	}
+	// Batch smaller than GPU count: degree capped.
+	small := graph.New("small")
+	x := small.Input4D("x", 2, 3, 8, 8)
+	small.Conv2D("c", x, 4, 3, 3, 1, 1, 1, 1)
+	s2 := DataParallel(small, topo)
+	if got := s2.Config(1).Degrees[0]; got != 2 {
+		t.Fatalf("capped degree = %d, want 2", got)
+	}
+}
+
+func TestModelParallelStrategy(t *testing.T) {
+	g := cnnGraph()
+	topo := device.NewSingleNode(2, "P100")
+	s := ModelParallel(g, topo)
+	if err := s.Validate(g, topo); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	for _, op := range g.ComputeOps() {
+		if s.Config(op.ID).NumTasks() != 1 {
+			t.Fatalf("model parallelism should not split op %q", op.Name)
+		}
+	}
+	// Ops should round-robin across both GPUs.
+	devs := map[int]bool{}
+	for _, op := range g.ComputeOps() {
+		devs[s.Config(op.ID).Devices[0]] = true
+	}
+	if len(devs) != 2 {
+		t.Fatalf("model parallelism used %d devices, want 2", len(devs))
+	}
+}
+
+func TestExpertCNN(t *testing.T) {
+	g := cnnGraph()
+	topo := device.NewSingleNode(4, "P100")
+	s := Expert(g, topo)
+	if err := s.Validate(g, topo); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	conv := g.Op(1)
+	fc := g.Op(4)
+	if s.Config(conv.ID).Degrees[0] != 4 {
+		t.Fatal("expert CNN should data-parallelize conv")
+	}
+	cfc := s.Config(fc.ID)
+	if cfc.Degrees[1] != 4 || cfc.Degrees[0] != 1 {
+		t.Fatalf("expert CNN should model-parallelize fc, got %v", cfc)
+	}
+}
+
+func TestExpertRNN(t *testing.T) {
+	g := rnnGraph()
+	topo := device.NewP100Cluster(2) // 2 nodes x 4 GPUs
+	s := Expert(g, topo)
+	if err := s.Validate(g, topo); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Every op: one task per node.
+	for _, op := range g.ComputeOps() {
+		c := s.Config(op.ID)
+		if c.Degrees[0] != 2 {
+			t.Fatalf("op %q node-parallel degree = %d", op.Name, c.Degrees[0])
+		}
+		// Tasks land on different nodes.
+		if topo.Device(c.Devices[0]).Node == topo.Device(c.Devices[1]).Node {
+			t.Fatalf("op %q tasks on same node", op.Name)
+		}
+	}
+	// Same-layer ops share a GPU within each node; different layers differ.
+	var lstmDev, smDev int
+	for _, op := range g.ComputeOps() {
+		switch {
+		case op.Kind == graph.LSTM:
+			lstmDev = s.Config(op.ID).Devices[0]
+		case op.Kind == graph.Softmax:
+			smDev = s.Config(op.ID).Devices[0]
+		}
+	}
+	if lstmDev == smDev {
+		t.Fatal("expert RNN placed different layers on the same GPU")
+	}
+}
+
+func TestRandomConfigFeasible(t *testing.T) {
+	g := cnnGraph()
+	topo := device.NewSingleNode(4, "P100")
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		for _, op := range g.ComputeOps() {
+			c := RandomConfig(op, topo, rng)
+			if err := c.Validate(op, topo); err != nil {
+				t.Fatalf("trial %d op %q: %v (config %v)", trial, op.Name, err, c)
+			}
+		}
+	}
+}
+
+func TestRandomStrategyFeasibleAndVaried(t *testing.T) {
+	g := rnnGraph()
+	topo := device.NewP100Cluster(2)
+	rng := rand.New(rand.NewSource(1))
+	a := Random(g, topo, rng)
+	b := Random(g, topo, rng)
+	if err := a.Validate(g, topo); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(g, topo); err != nil {
+		t.Fatal(err)
+	}
+	if a.Equal(b) {
+		t.Fatal("two random strategies should differ")
+	}
+	if a.Equal(a.Clone()) == false {
+		t.Fatal("clone should be equal")
+	}
+}
+
+func TestStrategyHelpers(t *testing.T) {
+	g := cnnGraph()
+	topo := device.NewSingleNode(4, "P100")
+	s := DataParallel(g, topo)
+	used := s.DevicesUsed()
+	if len(used) != 4 {
+		t.Fatalf("DevicesUsed = %v", used)
+	}
+	// Missing config fails validation.
+	s2 := NewStrategy(g)
+	if err := s2.Validate(g, topo); err == nil {
+		t.Fatal("empty strategy should fail validation")
+	}
+	// Wrong length fails.
+	s3 := &Strategy{Configs: make([]*Config, 1)}
+	if err := s3.Validate(g, topo); err == nil {
+		t.Fatal("short strategy should fail validation")
+	}
+	// Equal with mismatched nils.
+	s4 := DataParallel(g, topo)
+	s4.Set(1, nil)
+	if s.Equal(s4) {
+		t.Fatal("strategies with nil mismatch should differ")
+	}
+	if s.Equal(s3) {
+		t.Fatal("length mismatch should differ")
+	}
+}
+
+func TestEnumerate(t *testing.T) {
+	g := cnnGraph()
+	topo := device.NewSingleNode(4, "P100")
+	conv := g.Op(1)
+	configs := Enumerate(conv, topo, EnumOptions{})
+	if len(configs) == 0 {
+		t.Fatal("no configs enumerated")
+	}
+	seen := map[string]bool{}
+	foundHybrid := false
+	for _, c := range configs {
+		if err := c.Validate(conv, topo); err != nil {
+			t.Fatalf("enumerated config invalid: %v (%v)", err, c)
+		}
+		if c.NumTasks() > 4 {
+			t.Fatalf("config exceeds degree cap: %v", c)
+		}
+		if seen[c.String()] {
+			t.Fatalf("duplicate config %v", c)
+		}
+		seen[c.String()] = true
+		if c.Degrees[0] > 1 && c.Degrees[1] > 1 {
+			foundHybrid = true
+		}
+	}
+	if !foundHybrid {
+		t.Fatal("enumeration missed hybrid sample x channel configs")
+	}
+	// MaxDegree bound respected.
+	small := Enumerate(conv, topo, EnumOptions{MaxDegree: 2})
+	for _, c := range small {
+		if c.NumTasks() > 2 {
+			t.Fatalf("MaxDegree violated: %v", c)
+		}
+	}
+	if len(small) >= len(configs) {
+		t.Fatal("MaxDegree should shrink the config set")
+	}
+}
+
+func TestEnumerateNoParallelDims(t *testing.T) {
+	g := graph.New("tiny")
+	x := g.InputTensor("x", tensor.MakeShape(
+		tensor.D("sample", 1, tensor.Sample), tensor.D("c", 1, tensor.Parameter)))
+	mm := g.Dense("fc", x, 1)
+	topo := device.NewSingleNode(3, "P100")
+	configs := Enumerate(mm, topo, EnumOptions{})
+	// Only singleton tasks: one per GPU.
+	if len(configs) != 3 {
+		t.Fatalf("configs = %d, want 3", len(configs))
+	}
+}
+
+func TestOnDeviceAndParamParallelFallback(t *testing.T) {
+	g := cnnGraph()
+	topo := device.NewSingleNode(4, "P100")
+	pool := g.Op(2) // no parameter dims
+	c := ParamParallel(pool, topo.GPUs())
+	if c.NumTasks() != 1 {
+		t.Fatalf("ParamParallel on weightless op = %v", c)
+	}
+	d := OnDevice(pool, 2)
+	if d.NumTasks() != 1 || d.Devices[0] != 2 {
+		t.Fatalf("OnDevice = %v", d)
+	}
+	// Dense layer with fewer channels than devices: capped.
+	g2 := graph.New("cap")
+	x := g2.InputTensor("x", tensor.MakeShape(
+		tensor.D("sample", 8, tensor.Sample), tensor.D("c", 16, tensor.Attribute)))
+	fc := g2.Dense("fc", x, 2)
+	c2 := ParamParallel(fc, topo.GPUs())
+	if c2.Degrees[1] != 2 {
+		t.Fatalf("ParamParallel capped degree = %d, want 2", c2.Degrees[1])
+	}
+}

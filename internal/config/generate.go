@@ -1,0 +1,218 @@
+package config
+
+import (
+	"math/rand"
+
+	"flexflow/internal/device"
+	"flexflow/internal/graph"
+	"flexflow/internal/tensor"
+)
+
+// Expert returns the expert-designed strategy the paper benchmarks
+// against (Section 8.2.1):
+//
+//   - For CNNs, Krizhevsky's "one weird trick" [27]: data parallelism
+//     for convolutional and pooling layers, switching to model
+//     parallelism (parameter-dimension partitioning) for
+//     densely-connected layers.
+//   - For RNNs, the GNMT scheme [42]: data parallelism across compute
+//     nodes (each node processes a batch shard) combined with model
+//     parallelism inside each node — operations with the same layer
+//     depth are placed on the same GPU of the node.
+//
+// Whether a graph "is an RNN" is decided by the presence of LSTM ops.
+func Expert(g *graph.Graph, topo *device.Topology) *Strategy {
+	for _, op := range g.Ops {
+		if op.Kind == graph.LSTM {
+			return expertRNN(g, topo)
+		}
+	}
+	return expertCNN(g, topo)
+}
+
+func expertCNN(g *graph.Graph, topo *device.Topology) *Strategy {
+	gpus := topo.GPUs()
+	s := NewStrategy(g)
+	for _, op := range g.ComputeOps() {
+		switch op.Kind {
+		case graph.MatMul, graph.Softmax:
+			s.Set(op.ID, ParamParallel(op, gpus))
+		default:
+			s.Set(op.ID, SampleParallel(op, gpus))
+		}
+	}
+	return s
+}
+
+func expertRNN(g *graph.Graph, topo *device.Topology) *Strategy {
+	gpus := topo.GPUs()
+	// Group GPUs by node, preserving ID order.
+	byNode := map[int][]int{}
+	var nodes []int
+	for _, id := range gpus {
+		n := topo.Device(id).Node
+		if _, ok := byNode[n]; !ok {
+			nodes = append(nodes, n)
+		}
+		byNode[n] = append(byNode[n], id)
+	}
+	s := NewStrategy(g)
+	for _, op := range g.ComputeOps() {
+		layer := op.Layer
+		if layer < 0 {
+			layer = 0
+		}
+		// One task per node (sample-dim data parallelism across nodes),
+		// placed on the GPU matching the op's layer within that node.
+		n := len(nodes)
+		if max := op.Out.Size(0); n > max {
+			n = max
+		}
+		deg := unit(op)
+		deg[0] = n
+		devs := make([]int, n)
+		for i := 0; i < n; i++ {
+			nodeGPUs := byNode[nodes[i]]
+			devs[i] = nodeGPUs[layer%len(nodeGPUs)]
+		}
+		s.Set(op.ID, &Config{Degrees: deg, Devices: devs})
+	}
+	return s
+}
+
+// RandomConfig draws a random parallelization configuration for the op:
+// a random total parallelism degree (a power of two up to the GPU
+// count), randomly factored across the op's parallelizable dimensions,
+// with each task assigned to a uniformly random GPU. This is the
+// proposal building block of the MCMC search (Section 6.2) and the
+// random initial strategies of Section 8.1.
+func RandomConfig(op *graph.Op, topo *device.Topology, rng *rand.Rand) *Config {
+	return RandomConfigRestricted(op, topo, rng, nil)
+}
+
+// RandomConfigRestricted is RandomConfig limited to partitioning
+// dimensions whose kind is allowed (nil allows everything). Search-space
+// ablations use it to emulate narrower systems: {Sample} is the space
+// data parallelism lives in, {Sample, Parameter} adds intra-op model
+// parallelism but no attribute partitioning.
+func RandomConfigRestricted(op *graph.Op, topo *device.Topology, rng *rand.Rand, allowed map[tensor.DimKind]bool) *Config {
+	gpus := topo.GPUs()
+	deg := unit(op)
+	dims := op.ParallelDims()
+	if allowed != nil {
+		var filtered []int
+		for _, d := range dims {
+			if allowed[op.Out.Kind(d)] {
+				filtered = append(filtered, d)
+			}
+		}
+		dims = filtered
+	}
+	if len(dims) > 0 {
+		// Choose a power-of-two total degree <= len(gpus).
+		maxLog := 0
+		for 1<<(maxLog+1) <= len(gpus) {
+			maxLog++
+		}
+		total := 1 << rng.Intn(maxLog+1)
+		// Factor `total` over the dims by repeatedly assigning factors
+		// of 2 to random dims with remaining capacity.
+		for total > 1 {
+			candidates := candidateDims(op, dims, deg)
+			if len(candidates) == 0 {
+				break
+			}
+			d := candidates[rng.Intn(len(candidates))]
+			deg[d] *= 2
+			total /= 2
+		}
+	}
+	n := tensor.GridVolume(deg)
+	devs := make([]int, n)
+	for i := range devs {
+		devs[i] = gpus[rng.Intn(len(gpus))]
+	}
+	return &Config{Degrees: deg, Devices: devs}
+}
+
+// candidateDims lists dims that can absorb another factor of 2.
+func candidateDims(op *graph.Op, dims []int, deg []int) []int {
+	var out []int
+	for _, d := range dims {
+		if deg[d]*2 <= op.Out.Size(d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Random returns a fully random strategy (used as a search start point).
+func Random(g *graph.Graph, topo *device.Topology, rng *rand.Rand) *Strategy {
+	s := NewStrategy(g)
+	for _, op := range g.ComputeOps() {
+		s.Set(op.ID, RandomConfig(op, topo, rng))
+	}
+	return s
+}
+
+// EnumOptions bounds config enumeration for exhaustive search
+// (Section 8.4). Full enumeration over arbitrary device assignments is
+// astronomically large, so enumeration restricts assignments to
+// round-robin layouts over the GPU list starting at every offset —
+// the canonical layouts the MCMC search converges to in practice.
+type EnumOptions struct {
+	// MaxDegree caps the total parallelism degree (defaults to #GPUs).
+	MaxDegree int
+}
+
+// Enumerate lists the feasible configurations of op under the options.
+// Degrees enumerate all factorizations of every power of two up to
+// MaxDegree across the op's parallelizable dimensions.
+func Enumerate(op *graph.Op, topo *device.Topology, opts EnumOptions) []*Config {
+	gpus := topo.GPUs()
+	maxDeg := opts.MaxDegree
+	if maxDeg <= 0 || maxDeg > len(gpus) {
+		maxDeg = len(gpus)
+	}
+	var degreeVectors [][]int
+	var recur func(deg []int, dimIdx int, remaining int)
+	dims := op.ParallelDims()
+	recur = func(deg []int, dimIdx, remaining int) {
+		if dimIdx == len(dims) {
+			cp := make([]int, len(deg))
+			copy(cp, deg)
+			degreeVectors = append(degreeVectors, cp)
+			return
+		}
+		d := dims[dimIdx]
+		for f := 1; f <= remaining && f <= op.Out.Size(d); f *= 2 {
+			deg[d] = f
+			recur(deg, dimIdx+1, remaining/f)
+			deg[d] = 1
+		}
+	}
+	recur(unit(op), 0, maxDeg)
+
+	var out []*Config
+	for _, deg := range degreeVectors {
+		n := tensor.GridVolume(deg)
+		if n == 1 {
+			// Singleton tasks: one config per GPU.
+			for _, gpu := range gpus {
+				out = append(out, &Config{Degrees: deg, Devices: []int{gpu}})
+			}
+			continue
+		}
+		// Round-robin layouts from each starting offset. Offsets beyond
+		// the task count are redundant only when n >= len(gpus).
+		offsets := len(gpus)
+		for start := 0; start < offsets; start++ {
+			devs := make([]int, n)
+			for k := 0; k < n; k++ {
+				devs[k] = gpus[(start+k)%len(gpus)]
+			}
+			out = append(out, &Config{Degrees: deg, Devices: devs})
+		}
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package config
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flexflow/internal/device"
+	"flexflow/internal/graph"
+	"flexflow/internal/tensor"
+)
+
+// Property: RandomConfig is always valid, its tasks' regions partition
+// the output tensor exactly, and serialization round-trips, for random
+// seeds and random device counts.
+func TestRandomConfigProperties(t *testing.T) {
+	g := rnnGraph()
+	f := func(seed int64, gpuRaw uint8) bool {
+		gpus := int(gpuRaw%7) + 2 // 2..8 GPUs
+		topo := device.NewSingleNode(gpus, "P100")
+		rng := rand.New(rand.NewSource(seed))
+		s := Random(g, topo, rng)
+		if err := s.Validate(g, topo); err != nil {
+			t.Logf("invalid strategy: %v", err)
+			return false
+		}
+		for _, op := range g.ComputeOps() {
+			c := s.Config(op.ID)
+			var vol int64
+			regions := tensor.Partition(op.Out, c.Degrees)
+			for _, r := range regions {
+				vol += r.Volume()
+			}
+			if vol != op.Out.Volume() {
+				t.Logf("op %q: regions cover %d of %d", op.Name, vol, op.Out.Volume())
+				return false
+			}
+		}
+		data, err := MarshalStrategy(g, s)
+		if err != nil {
+			t.Logf("marshal: %v", err)
+			return false
+		}
+		back, err := UnmarshalStrategy(data, g, topo)
+		if err != nil {
+			t.Logf("unmarshal: %v", err)
+			return false
+		}
+		return back.Equal(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: enumerated configs are exactly the valid ones the search
+// could pick — all valid, all within the degree cap, no duplicates.
+func TestEnumerateProperties(t *testing.T) {
+	g := cnnGraph()
+	f := func(gpuRaw, capRaw uint8) bool {
+		gpus := int(gpuRaw%6) + 2
+		maxDeg := int(capRaw%4) + 1
+		topo := device.NewSingleNode(gpus, "P100")
+		for _, op := range g.ComputeOps() {
+			seen := map[string]bool{}
+			for _, c := range Enumerate(op, topo, EnumOptions{MaxDegree: maxDeg}) {
+				if err := c.Validate(op, topo); err != nil {
+					t.Logf("op %q: %v", op.Name, err)
+					return false
+				}
+				if c.NumTasks() > maxDeg {
+					t.Logf("op %q: %d tasks over cap %d", op.Name, c.NumTasks(), maxDeg)
+					return false
+				}
+				key := c.String()
+				if seen[key] {
+					t.Logf("op %q: duplicate %s", op.Name, key)
+					return false
+				}
+				seen[key] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: weight slicing conserves parameters — Slices * Elems equals
+// the op's weight count (up to integer division remainder) and
+// Slices * Replicas equals the task count, for every random config.
+func TestWeightSlicingConservation(t *testing.T) {
+	g := rnnGraph()
+	topo := device.NewSingleNode(8, "P100")
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 300; trial++ {
+		for _, op := range g.ComputeOps() {
+			if !op.HasWeights() {
+				continue
+			}
+			c := RandomConfig(op, topo, rng)
+			w := op.Weights(c.Degrees)
+			if w.Slices*w.Replicas != c.NumTasks() {
+				t.Fatalf("op %q cfg %v: slices*replicas = %d, tasks = %d",
+					op.Name, c.Degrees, w.Slices*w.Replicas, c.NumTasks())
+			}
+			total := w.Elems * int64(w.Slices)
+			if total > op.WeightElems || total < op.WeightElems-int64(w.Slices) {
+				t.Fatalf("op %q: sliced weights %d vs total %d", op.Name, total, op.WeightElems)
+			}
+		}
+	}
+}
+
+func TestGraphForProperties(t *testing.T) {
+	// Keep the helper graphs themselves honest.
+	if err := cnnGraph().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rnnGraph().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_ = graph.New
+}

@@ -1,0 +1,82 @@
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"flexflow/internal/device"
+	"flexflow/internal/graph"
+)
+
+// The wire format names ops rather than relying on op IDs, so a saved
+// strategy survives graph rebuilds as long as op names are stable (the
+// model builders guarantee unique names). This is what cmd/flexflow
+// -export/-import read and write.
+
+type strategyJSON struct {
+	Graph   string       `json:"graph"`
+	Configs []configJSON `json:"configs"`
+}
+
+type configJSON struct {
+	Op      string `json:"op"`
+	Degrees []int  `json:"degrees"`
+	Devices []int  `json:"devices"`
+}
+
+// MarshalStrategy encodes a strategy for the graph as JSON.
+func MarshalStrategy(g *graph.Graph, s *Strategy) ([]byte, error) {
+	if len(s.Configs) != g.NumOps() {
+		return nil, fmt.Errorf("config: strategy has %d configs for %d ops", len(s.Configs), g.NumOps())
+	}
+	out := strategyJSON{Graph: g.Name}
+	seen := map[string]bool{}
+	for _, op := range g.ComputeOps() {
+		if seen[op.Name] {
+			return nil, fmt.Errorf("config: duplicate op name %q prevents serialization", op.Name)
+		}
+		seen[op.Name] = true
+		c := s.Config(op.ID)
+		if c == nil {
+			return nil, fmt.Errorf("config: op %q has no config", op.Name)
+		}
+		out.Configs = append(out.Configs, configJSON{Op: op.Name, Degrees: c.Degrees, Devices: c.Devices})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// UnmarshalStrategy decodes a strategy and validates it against the
+// graph and topology. The graph name must match; every compute op must
+// receive exactly one config.
+func UnmarshalStrategy(data []byte, g *graph.Graph, topo *device.Topology) (*Strategy, error) {
+	var in strategyJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("config: decoding strategy: %w", err)
+	}
+	if in.Graph != g.Name {
+		return nil, fmt.Errorf("config: strategy is for graph %q, not %q", in.Graph, g.Name)
+	}
+	byName := map[string]*graph.Op{}
+	for _, op := range g.ComputeOps() {
+		byName[op.Name] = op
+	}
+	s := NewStrategy(g)
+	for _, cj := range in.Configs {
+		op, ok := byName[cj.Op]
+		if !ok {
+			return nil, fmt.Errorf("config: strategy references unknown op %q", cj.Op)
+		}
+		if s.Config(op.ID) != nil {
+			return nil, fmt.Errorf("config: duplicate config for op %q", cj.Op)
+		}
+		c := &Config{Degrees: cj.Degrees, Devices: cj.Devices}
+		if err := c.Validate(op, topo); err != nil {
+			return nil, err
+		}
+		s.Set(op.ID, c)
+	}
+	if err := s.Validate(g, topo); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,97 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"flexflow/internal/device"
+	"flexflow/internal/graph"
+)
+
+func TestStrategyRoundTrip(t *testing.T) {
+	g := cnnGraph()
+	topo := device.NewSingleNode(4, "P100")
+	s := Expert(g, topo)
+
+	data, err := MarshalStrategy(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "\"graph\": \"cnn\"") {
+		t.Fatalf("payload missing graph name: %s", data)
+	}
+	got, err := UnmarshalStrategy(data, g, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(s) {
+		t.Fatal("round trip changed the strategy")
+	}
+}
+
+func TestMarshalStrategyErrors(t *testing.T) {
+	g := cnnGraph()
+	topo := device.NewSingleNode(4, "P100")
+
+	// Missing config.
+	if _, err := MarshalStrategy(g, NewStrategy(g)); err == nil {
+		t.Fatal("empty strategy marshalled")
+	}
+	// Wrong length.
+	if _, err := MarshalStrategy(g, &Strategy{Configs: make([]*Config, 1)}); err == nil {
+		t.Fatal("short strategy marshalled")
+	}
+	// Duplicate op names.
+	dup := graph.New("dup")
+	x := dup.Input4D("x", 4, 3, 8, 8)
+	dup.Conv2D("conv", x, 4, 3, 3, 1, 1, 1, 1)
+	dup.Conv2D("conv", dup.Op(1), 4, 3, 3, 1, 1, 1, 1)
+	if _, err := MarshalStrategy(dup, DataParallel(dup, topo)); err == nil {
+		t.Fatal("duplicate names marshalled")
+	}
+}
+
+func TestUnmarshalStrategyErrors(t *testing.T) {
+	g := cnnGraph()
+	topo := device.NewSingleNode(4, "P100")
+	good, _ := MarshalStrategy(g, DataParallel(g, topo))
+
+	cases := map[string][]byte{
+		"garbage":     []byte("{not json"),
+		"wrong-graph": []byte(strings.Replace(string(good), "\"cnn\"", "\"other\"", 1)),
+		"unknown-op":  []byte(strings.Replace(string(good), "\"conv\"", "\"missing\"", 1)),
+		"bad-device":  []byte(strings.Replace(string(good), "\"devices\": [\n        0,", "\"devices\": [\n        99,", 1)),
+	}
+	for name, data := range cases {
+		if _, err := UnmarshalStrategy(data, g, topo); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	// Duplicate config entry.
+	var payload strings.Builder
+	payload.WriteString(`{"graph":"cnn","configs":[`)
+	first := true
+	for _, op := range g.ComputeOps() {
+		entry := `{"op":"` + op.Name + `","degrees":[`
+		for i := 0; i < op.Out.Rank(); i++ {
+			if i > 0 {
+				entry += ","
+			}
+			entry += "1"
+		}
+		entry += `],"devices":[0]}`
+		if !first {
+			payload.WriteString(",")
+		}
+		payload.WriteString(entry)
+		first = false
+	}
+	// Repeat the first compute op.
+	repeat := g.ComputeOps()[0]
+	entry := `,{"op":"` + repeat.Name + `","degrees":[1,1,1,1],"devices":[0]}`
+	payload.WriteString(entry)
+	payload.WriteString("]}")
+	if _, err := UnmarshalStrategy([]byte(payload.String()), g, topo); err == nil {
+		t.Error("duplicate config decoded without error")
+	}
+}

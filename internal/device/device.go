@@ -1,0 +1,282 @@
+// Package device models the parallel machine: compute devices (GPUs,
+// CPUs) connected by links (NVLink, PCI-e, Infiniband) into a device
+// topology D = (D_N, D_E), as described in Section 3.1 of the paper.
+// Each link carries a bandwidth and latency label; the task-graph builder
+// treats every hardware connection as a communication device so that
+// computation and communication can overlap (Section 5.1).
+package device
+
+import (
+	"fmt"
+	"time"
+)
+
+// Kind distinguishes compute device classes.
+type Kind uint8
+
+const (
+	GPU Kind = iota
+	CPU
+)
+
+func (k Kind) String() string {
+	switch k {
+	case GPU:
+		return "GPU"
+	case CPU:
+		return "CPU"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Device is a compute device in the topology.
+type Device struct {
+	ID   int
+	Kind Kind
+	Name string
+	// Node is the index of the compute node (machine) hosting the device.
+	Node int
+	// Model identifies the hardware generation (e.g. "P100", "K80"); the
+	// performance model keys its measurement cache on it.
+	Model string
+	// PeakGFLOPS is the peak single-precision throughput.
+	PeakGFLOPS float64
+	// MemBWGBs is the device memory bandwidth in GB/s.
+	MemBWGBs float64
+	// MemGB is the device memory capacity in GB (0 = unconstrained,
+	// e.g. host CPUs in these experiments).
+	MemGB float64
+}
+
+// LinkClass identifies a hardware connection class.
+type LinkClass uint8
+
+const (
+	NVLink LinkClass = iota
+	PCIe
+	Infiniband
+	Loopback
+)
+
+func (c LinkClass) String() string {
+	switch c {
+	case NVLink:
+		return "NVLink"
+	case PCIe:
+		return "PCI-e"
+	case Infiniband:
+		return "Infiniband"
+	case Loopback:
+		return "Loopback"
+	default:
+		return fmt.Sprintf("LinkClass(%d)", uint8(c))
+	}
+}
+
+// Link is a bidirectional hardware connection between two devices.
+type Link struct {
+	ID      int
+	Class   LinkClass
+	A, B    int // device IDs
+	BWGBs   float64
+	Latency time.Duration
+}
+
+// Name returns a human-readable label for the link.
+func (l Link) Name() string {
+	return fmt.Sprintf("%s(%d<->%d)", l.Class, l.A, l.B)
+}
+
+// Path is a routed connection between two devices: the sequence of links
+// a transfer traverses, plus the effective (bottleneck) bandwidth and
+// accumulated latency. A transfer of s bytes over the path takes
+// s/Bandwidth + Latency (assumption A2 of the paper, with latency added
+// so that small transfers are not free).
+type Path struct {
+	Links []int // link IDs, in traversal order
+	// BottleneckLink is the link on which the transfer is scheduled; two
+	// transfers whose paths share their bottleneck serialize there.
+	BottleneckLink int
+	BWGBs          float64
+	Latency        time.Duration
+}
+
+// TransferTime returns the modelled time to move size bytes across the path.
+func (p Path) TransferTime(size int64) time.Duration {
+	if p.BWGBs <= 0 {
+		return p.Latency
+	}
+	sec := float64(size) / (p.BWGBs * 1e9)
+	return p.Latency + time.Duration(sec*float64(time.Second))
+}
+
+// Topology is the device graph.
+type Topology struct {
+	Name    string
+	Devices []Device
+	Links   []Link
+
+	adj map[int][]int // device ID -> link IDs
+
+	// paths caches the routed path for every ordered device pair
+	// (computed lazily by Route); key = src*len(Devices)+dst.
+	paths []Path
+	built bool
+}
+
+// NewTopology creates an empty topology with the given name.
+func NewTopology(name string) *Topology {
+	return &Topology{Name: name, adj: make(map[int][]int)}
+}
+
+// AddDevice appends a device and returns its ID.
+func (t *Topology) AddDevice(d Device) int {
+	d.ID = len(t.Devices)
+	t.Devices = append(t.Devices, d)
+	t.built = false
+	return d.ID
+}
+
+// AddLink connects devices a and b and returns the link ID.
+func (t *Topology) AddLink(class LinkClass, a, b int, bwGBs float64, latency time.Duration) int {
+	if a < 0 || a >= len(t.Devices) || b < 0 || b >= len(t.Devices) {
+		panic(fmt.Sprintf("device: AddLink(%d, %d) references unknown device", a, b))
+	}
+	l := Link{ID: len(t.Links), Class: class, A: a, B: b, BWGBs: bwGBs, Latency: latency}
+	t.Links = append(t.Links, l)
+	t.adj[a] = append(t.adj[a], l.ID)
+	t.adj[b] = append(t.adj[b], l.ID)
+	t.built = false
+	return l.ID
+}
+
+// NumDevices returns the number of compute devices.
+func (t *Topology) NumDevices() int { return len(t.Devices) }
+
+// GPUs returns the IDs of all GPU devices, in ID order.
+func (t *Topology) GPUs() []int {
+	var out []int
+	for _, d := range t.Devices {
+		if d.Kind == GPU {
+			out = append(out, d.ID)
+		}
+	}
+	return out
+}
+
+// Device returns the device with the given ID.
+func (t *Topology) Device(id int) Device { return t.Devices[id] }
+
+// buildRoutes computes, for every ordered pair of devices, the
+// maximum-bottleneck-bandwidth path (ties broken by lower latency) using
+// a Floyd–Warshall style relaxation. Topologies are small (tens of
+// devices), so O(V^3) is immaterial.
+func (t *Topology) buildRoutes() {
+	n := len(t.Devices)
+	t.paths = make([]Path, n*n)
+	type cell struct {
+		bw      float64
+		lat     time.Duration
+		links   []int
+		reached bool
+	}
+	grid := make([]cell, n*n)
+	at := func(i, j int) *cell { return &grid[i*n+j] }
+	for i := 0; i < n; i++ {
+		at(i, i).bw = 1e18 // same device: no transfer needed
+		at(i, i).reached = true
+	}
+	for _, l := range t.Links {
+		for _, pair := range [][2]int{{l.A, l.B}, {l.B, l.A}} {
+			c := at(pair[0], pair[1])
+			if !c.reached || l.BWGBs > c.bw || (l.BWGBs == c.bw && l.Latency < c.lat) {
+				c.bw, c.lat, c.links, c.reached = l.BWGBs, l.Latency, []int{l.ID}, true
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			ik := at(i, k)
+			if !ik.reached || i == k {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if j == k || i == j {
+					continue
+				}
+				kj := at(k, j)
+				if !kj.reached {
+					continue
+				}
+				bw := ik.bw
+				if kj.bw < bw {
+					bw = kj.bw
+				}
+				lat := ik.lat + kj.lat
+				c := at(i, j)
+				if !c.reached || bw > c.bw || (bw == c.bw && lat < c.lat) {
+					links := make([]int, 0, len(ik.links)+len(kj.links))
+					links = append(links, ik.links...)
+					links = append(links, kj.links...)
+					c.bw, c.lat, c.links, c.reached = bw, lat, links, true
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			c := at(i, j)
+			if i == j {
+				t.paths[i*n+j] = Path{BWGBs: c.bw, BottleneckLink: -1}
+				continue
+			}
+			if !c.reached {
+				panic(fmt.Sprintf("device: topology %q is disconnected: no path %d -> %d", t.Name, i, j))
+			}
+			bottleneck := c.links[0]
+			for _, lid := range c.links {
+				if t.Links[lid].BWGBs < t.Links[bottleneck].BWGBs {
+					bottleneck = lid
+				}
+			}
+			t.paths[i*n+j] = Path{Links: c.links, BottleneckLink: bottleneck, BWGBs: c.bw, Latency: c.lat}
+		}
+	}
+	t.built = true
+}
+
+// Route returns the routed path from device src to device dst. For
+// src == dst it returns a zero-cost loopback path with BottleneckLink -1.
+func (t *Topology) Route(src, dst int) Path {
+	if !t.built {
+		t.buildRoutes()
+	}
+	return t.paths[src*len(t.Devices)+dst]
+}
+
+// Validate checks structural invariants (connectivity, positive
+// bandwidths) and returns an error describing the first violation.
+func (t *Topology) Validate() error {
+	if len(t.Devices) == 0 {
+		return fmt.Errorf("device: topology %q has no devices", t.Name)
+	}
+	for _, l := range t.Links {
+		if l.BWGBs <= 0 {
+			return fmt.Errorf("device: link %s has non-positive bandwidth %g", l.Name(), l.BWGBs)
+		}
+	}
+	defer func() { recover() }()
+	errCh := make(chan error, 1)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				errCh <- fmt.Errorf("%v", r)
+			} else {
+				errCh <- nil
+			}
+		}()
+		t.buildRoutes()
+	}()
+	return <-errCh
+}

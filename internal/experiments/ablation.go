@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+
+	"flexflow/internal/config"
+	"flexflow/internal/device"
+	"flexflow/internal/models"
+	"flexflow/internal/search"
+	"flexflow/internal/taskgraph"
+)
+
+// AblationSpace quantifies where the SOAP win comes from by restricting
+// the proposal space: Sample only (data-parallel placement), Sample +
+// Parameter, and the full SOAP space, on a parameter-heavy RNN where the
+// extra dimensions matter.
+func AblationSpace(scale Scale) *Table {
+	spec, _ := models.Get("rnnlm")
+	g := scale.build(spec)
+	gpus := scale.DeviceCounts[len(scale.DeviceCounts)-1]
+	topo := device.ClusterFor("P100", gpus)
+
+	t := &Table{
+		ID:     "ablation-space",
+		Title:  fmt.Sprintf("Search-space ablation (RNNLM, %d P100 GPUs)", gpus),
+		Header: []string{"space", "best-cost", "vs-SOAP"},
+	}
+	costs := map[string]float64{}
+	// The full SOAP space strictly contains the restricted spaces, so
+	// the SOAP run also receives the restricted winners as initial
+	// candidates — the structural guarantee that SOAP only adds options.
+	initials := []*config.Strategy{config.DataParallel(g, topo)}
+	for _, c := range []struct {
+		name  string
+		space search.Space
+	}{
+		{"S (sample only)", search.SpaceSample},
+		{"S+P (sample+parameter)", search.SpaceSampleParam},
+		{"SOAP (full)", search.SpaceSOAP},
+	} {
+		est := estimator()
+		opts := scale.searchOpts()
+		opts.Space = c.space
+		res := search.MCMC(g, topo, est, initials, opts)
+		costs[c.name] = res.BestCost.Seconds()
+		t.Rows = append(t.Rows, []string{c.name, ms(res.BestCost), ""})
+		initials = append(initials, res.Best)
+	}
+	soap := costs["SOAP (full)"]
+	for i := range t.Rows {
+		t.Rows[i][2] = f2(costs[t.Rows[i][0]] / soap)
+	}
+	t.Notes = append(t.Notes, "ratios > 1 mean the restricted space found a slower strategy than full SOAP")
+	return t
+}
+
+// AblationBeta sweeps the Metropolis-Hastings temperature to show the
+// search is robust across a broad range of beta (Section 6.1's "a
+// constant that can be chosen").
+func AblationBeta(scale Scale) *Table {
+	spec, _ := models.Get("inception-v3")
+	g := scale.build(spec)
+	topo := device.NewSingleNode(4, "P100")
+
+	t := &Table{
+		ID:     "ablation-beta",
+		Title:  "MCMC temperature sweep (Inception-v3, 4 P100 GPUs)",
+		Header: []string{"beta", "best-cost", "accept-rate"},
+	}
+	for _, beta := range []float64{1, 5, 15, 50, 1e6} {
+		est := estimator()
+		opts := scale.searchOpts()
+		opts.Beta = beta
+		res := search.MCMC(g, topo, est, []*config.Strategy{config.DataParallel(g, topo)}, opts)
+		rate := 0.0
+		if res.Iters > 0 {
+			rate = float64(res.Accepted) / float64(res.Iters)
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%g", beta), ms(res.BestCost), f2(rate)})
+	}
+	t.Notes = append(t.Notes, "beta=1e6 is effectively greedy; low beta accepts most regressions")
+	return t
+}
+
+// AblationSync compares ring vs star (parameter-server style) gradient
+// synchronization under data parallelism, the task-graph design choice
+// called out in DESIGN.md.
+func AblationSync(scale Scale) *Table {
+	spec, _ := models.Get("rnnlm")
+	g := scale.build(spec)
+	gpus := scale.DeviceCounts[len(scale.DeviceCounts)-1]
+	topo := device.ClusterFor("P100", gpus)
+	est := estimator()
+
+	t := &Table{
+		ID:     "ablation-sync",
+		Title:  fmt.Sprintf("Ring vs star parameter synchronization (RNNLM, data parallel, %d GPUs)", gpus),
+		Header: []string{"scheme", "per-iter-time", "sync-traffic(MB)"},
+	}
+	for _, c := range []struct {
+		name string
+		opts taskgraph.Options
+	}{
+		{"ring all-reduce", taskgraph.Options{}},
+		{"star (parameter server)", taskgraph.Options{StarSync: true}},
+	} {
+		iter, m := search.Evaluate(g, topo, est, config.DataParallel(g, topo), c.opts)
+		t.Rows = append(t.Rows, []string{c.name, ms(iter), f1(float64(m.SyncBytes) / 1e6)})
+	}
+	t.Notes = append(t.Notes, "both move 2(n-1)S bytes total; the star serializes at the primary device")
+	return t
+}

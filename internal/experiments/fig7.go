@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+
+	"flexflow/internal/config"
+	"flexflow/internal/device"
+	"flexflow/internal/models"
+)
+
+// Fig7 reproduces Figure 7: per-iteration training throughput
+// (samples/sec/GPU) for the six DNN benchmarks across device counts on
+// both clusters, comparing data parallelism, the expert-designed
+// strategy, and the strategy found by FlexFlow.
+//
+// The shape to match: FlexFlow >= max(data parallel, expert) everywhere;
+// ResNet-101 tracks data parallelism closely; the parameter-heavy RNNs
+// and AlexNet's dense layers make data parallelism fall off with device
+// count while FlexFlow degrades much more slowly.
+func Fig7(scale Scale, modelNames []string, clusters []string) *Table {
+	t := &Table{
+		ID:     "fig7",
+		Title:  "Per-iteration training throughput (samples/sec/GPU)",
+		Header: []string{"model", "cluster", "gpus", "data-parallel", "expert", "flexflow", "speedup-vs-dp"},
+	}
+	if len(modelNames) == 0 {
+		for _, spec := range models.Benchmarks() {
+			modelNames = append(modelNames, spec.Name)
+		}
+	}
+	if len(clusters) == 0 {
+		clusters = []string{"P100", "K80"}
+	}
+	for _, name := range modelNames {
+		spec, err := models.Get(name)
+		if err != nil {
+			panic(err)
+		}
+		g := scale.build(spec)
+		batch := g.Ops[0].Out.Size(0)
+		for _, cluster := range clusters {
+			for _, n := range scale.DeviceCounts {
+				topo := device.ClusterFor(cluster, n)
+				// Restrict to the first n GPUs on multi-node clusters
+				// whose node count rounds up.
+				if len(topo.GPUs()) < n {
+					continue
+				}
+				est := estimator()
+				dpTime, _ := evaluate(g, topo, est, config.DataParallel(g, topo))
+				exTime, _ := evaluate(g, topo, est, config.Expert(g, topo))
+				_, ffTime, _ := flexflowStrategy(g, topo, est, scale)
+
+				t.Rows = append(t.Rows, []string{
+					name, cluster, fmt.Sprintf("%d", n),
+					f1(throughput(batch, dpTime, n)),
+					f1(throughput(batch, exTime, n)),
+					f1(throughput(batch, ffTime, n)),
+					f2(float64(dpTime) / float64(ffTime)),
+				})
+			}
+		}
+	}
+	t.Notes = append(t.Notes,
+		"dashed 'ideal' lines of the paper correspond to constant samples/sec/GPU",
+		fmt.Sprintf("scale=%s (model factor %d, search iters %d)", scale.Name, scale.ModelFactor, scale.SearchIters))
+	return t
+}

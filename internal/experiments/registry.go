@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// runner produces the tables of one experiment at a scale.
+type runner func(scale Scale) []*Table
+
+var runners = map[string]runner{
+	"table1": func(s Scale) []*Table { return []*Table{Table1()} },
+	"fig7": func(s Scale) []*Table {
+		return []*Table{Fig7(s, nil, nil)}
+	},
+	"fig8":   func(s Scale) []*Table { return []*Table{Fig8(s, 0)} },
+	"fig9":   func(s Scale) []*Table { return []*Table{Fig9(s, 0)} },
+	"fig10a": func(s Scale) []*Table { return []*Table{Fig10a(s)} },
+	"fig10b": func(s Scale) []*Table { return []*Table{Fig10b(s, 0)} },
+	"fig11":  func(s Scale) []*Table { return []*Table{Fig11(s, 0)} },
+	"fig12":  func(s Scale) []*Table { return []*Table{Fig12(s, 0)} },
+	"table4": func(s Scale) []*Table { return []*Table{Table4(s, nil)} },
+	"optimality": func(s Scale) []*Table {
+		return []*Table{GlobalOptimality(s), LocalOptimality(s, nil, nil)}
+	},
+	"case-inception": func(s Scale) []*Table { return []*Table{CaseStudy(s, "inception-v3")} },
+	"case-nmt":       func(s Scale) []*Table { return []*Table{CaseStudy(s, "nmt")} },
+	"profiling":      func(s Scale) []*Table { return []*Table{MeasuringCacheReport(s)} },
+	"ablation-space": func(s Scale) []*Table { return []*Table{AblationSpace(s)} },
+	"ablation-beta":  func(s Scale) []*Table { return []*Table{AblationBeta(s)} },
+	"ablation-sync":  func(s Scale) []*Table { return []*Table{AblationSync(s)} },
+}
+
+// IDs lists available experiment names, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(runners))
+	for id := range runners {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by ID ("all" runs everything in ID order).
+func Run(id string, scale Scale) ([]*Table, error) {
+	if id == "all" {
+		var out []*Table
+		for _, i := range IDs() {
+			out = append(out, runners[i](scale)...)
+		}
+		return out, nil
+	}
+	r, ok := runners[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v and \"all\")", id, IDs())
+	}
+	return r(scale), nil
+}

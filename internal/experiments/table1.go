@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"strings"
+
+	"flexflow/internal/graph"
+	"flexflow/internal/tensor"
+)
+
+// Table1 reproduces Table 1 of the paper: the parallelizable dimensions
+// of representative operations, classified into Sample, Attribute and
+// Parameter dimensions.
+func Table1() *Table {
+	t := &Table{
+		ID:     "table1",
+		Title:  "Parallelizable dimensions per operation (Table 1)",
+		Header: []string{"operation", "sample", "attribute", "parameter"},
+	}
+	g := graph.New("table1")
+	// 1D pooling / 1D convolution modelled as height-1 2D ops, matching
+	// the table's length/channel naming.
+	img1d := g.InputTensor("x1d", tensor.MakeShape(
+		tensor.D(graph.DimSample, 64, tensor.Sample),
+		tensor.D(graph.DimChannel, 32, tensor.Unsplittable),
+		tensor.D(graph.DimHeight, 1, tensor.Attribute),
+		tensor.D(graph.DimWidth, 128, tensor.Attribute),
+	))
+	pool1d := g.Pool2D("pool1d", img1d, 1, 2, 1, 2, 0, 0)
+	conv1d := g.Conv2D("conv1d", img1d, 64, 1, 3, 1, 1, 0, 1)
+	img2d := g.Input4D("x2d", 64, 3, 32, 32)
+	conv2d := g.Conv2D("conv2d", img2d, 64, 3, 3, 1, 1, 1, 1)
+	flat := g.Flatten("flat", img2d)
+	mm := g.Dense("matmul", flat, 256)
+
+	for _, c := range []struct {
+		label string
+		op    *graph.Op
+	}{
+		{"1D pooling", pool1d},
+		{"1D convolution", conv1d},
+		{"2D convolution", conv2d},
+		{"Matrix multiplication", mm},
+	} {
+		var s, a, p []string
+		for _, d := range c.op.Out.Dims {
+			if d.Size <= 1 {
+				continue
+			}
+			switch d.Kind {
+			case tensor.Sample:
+				s = append(s, d.Name)
+			case tensor.Attribute:
+				a = append(a, d.Name)
+			case tensor.Parameter:
+				p = append(p, d.Name)
+			}
+		}
+		t.Rows = append(t.Rows, []string{c.label, join(s), join(a), join(p)})
+	}
+	t.Notes = append(t.Notes,
+		"paper: pooling {length, channel} are attributes; conv channel is a parameter dim; matmul has no attribute dims")
+	return t
+}
+
+func join(xs []string) string {
+	if len(xs) == 0 {
+		return "-"
+	}
+	return strings.Join(xs, ", ")
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"flexflow/internal/config"
+	"flexflow/internal/device"
+	"flexflow/internal/models"
+	"flexflow/internal/search"
+)
+
+// Fig12 reproduces Figure 12: best-found strategy cost as a function of
+// elapsed search time for the NMT model, comparing the optimizer running
+// on the full simulation algorithm vs the delta simulation algorithm.
+//
+// Shape to match: both converge to comparable strategies, but the delta
+// curve drops much earlier because each proposal costs a fraction of a
+// full re-simulation.
+func Fig12(scale Scale, gpus int) *Table {
+	if gpus == 0 {
+		gpus = 16
+		if scale.ModelFactor > 1 {
+			gpus = scale.DeviceCounts[len(scale.DeviceCounts)-1]
+		}
+	}
+	spec, _ := models.Get("nmt")
+	g := scale.build(spec)
+	topo := device.ClusterFor("P100", gpus)
+
+	t := &Table{
+		ID:     "fig12",
+		Title:  fmt.Sprintf("Search progress, full vs delta simulation (NMT, %d P100 GPUs)", gpus),
+		Header: []string{"algorithm", "elapsed", "best-found"},
+	}
+	run := func(name string, full bool) time.Duration {
+		est := estimator()
+		opts := scale.searchOpts()
+		opts.FullSim = full
+		res := search.MCMC(g, topo, est, []*config.Strategy{config.DataParallel(g, topo)}, opts)
+		// Sample the trace at a few points.
+		step := len(res.Trace)/6 + 1
+		for i := 0; i < len(res.Trace); i += step {
+			p := res.Trace[i]
+			t.Rows = append(t.Rows, []string{name, p.Elapsed.String(), ms(p.BestCost)})
+		}
+		last := res.Trace[len(res.Trace)-1]
+		t.Rows = append(t.Rows, []string{name, fmt.Sprintf("%v (end, %d iters)", res.SearchTime, res.Iters), ms(last.BestCost)})
+		return res.SearchTime
+	}
+	fullTime := run("full", true)
+	deltaTime := run("delta", false)
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("wall-clock for the same proposal budget: full=%v delta=%v (%.1fx)",
+			fullTime, deltaTime, float64(fullTime)/float64(deltaTime)),
+		"paper: full and delta terminate in 16 vs 6 minutes on NMT/16 P100")
+	return t
+}
+
+// Table4 reproduces Table 4: end-to-end search time with the full vs the
+// delta simulation algorithm across the benchmarks and device counts,
+// with the delta speedup per cell.
+//
+// Shape to match: delta is consistently faster (paper: 2.2-6.9x) and its
+// advantage grows with the number of devices.
+func Table4(scale Scale, modelNames []string) *Table {
+	t := &Table{
+		ID:     "table4",
+		Title:  "End-to-end search time: full vs delta simulation (seconds)",
+		Header: []string{"model", "gpus", "full(s)", "delta(s)", "speedup"},
+	}
+	if len(modelNames) == 0 {
+		for _, spec := range models.Benchmarks() {
+			modelNames = append(modelNames, spec.Name)
+		}
+	}
+	for _, name := range modelNames {
+		spec, err := models.Get(name)
+		if err != nil {
+			panic(err)
+		}
+		g := scale.build(spec)
+		for _, n := range scale.DeviceCounts {
+			if n < 2 {
+				continue
+			}
+			topo := device.ClusterFor("P100", n)
+			timeFor := func(full bool) time.Duration {
+				est := estimator()
+				opts := scale.searchOpts()
+				opts.FullSim = full
+				opts.Budget = 0 // measure a fixed proposal budget
+				res := search.MCMC(g, topo, est, []*config.Strategy{config.DataParallel(g, topo)}, opts)
+				return res.SearchTime
+			}
+			fullT := timeFor(true)
+			deltaT := timeFor(false)
+			t.Rows = append(t.Rows, []string{
+				name, fmt.Sprintf("%d", n),
+				fmt.Sprintf("%.3f", fullT.Seconds()),
+				fmt.Sprintf("%.3f", deltaT.Seconds()),
+				f2(float64(fullT) / float64(deltaT)),
+			})
+		}
+	}
+	t.Notes = append(t.Notes, "paper: delta 2.2-6.9x faster, speedup grows with device count")
+	return t
+}

@@ -1,0 +1,201 @@
+package graph
+
+import (
+	"fmt"
+
+	"flexflow/internal/tensor"
+)
+
+// OpKind enumerates the operation types needed by the paper's six
+// benchmark DNNs (Table 3) plus LeNet (Section 8.4).
+type OpKind uint8
+
+const (
+	// Input is a placeholder producing framework-loaded data.
+	Input OpKind = iota
+	// Conv2D is a 2D convolution (+bias, optionally fused activation).
+	Conv2D
+	// Pool2D is 2D max/average pooling.
+	Pool2D
+	// MatMul is a dense (fully-connected) layer: Y = W X + b.
+	MatMul
+	// Embedding is a table lookup mapping token ids to vectors.
+	Embedding
+	// LSTM is one unrolled LSTM step (all four gates).
+	LSTM
+	// Attention is a single-step attention layer over encoder states.
+	Attention
+	// Softmax is a classifier layer: linear projection + softmax.
+	Softmax
+	// Concat concatenates its inputs along one dimension.
+	Concat
+	// Add is an element-wise addition (residual connections).
+	Add
+	// Activation is an element-wise nonlinearity (ReLU etc.).
+	Activation
+	// Flatten reshapes (sample, c, h, w) to (sample, features).
+	Flatten
+	// Stack assembles per-step 2D outputs into a (sample, length,
+	// channel) sequence (e.g. encoder states consumed by attention).
+	Stack
+)
+
+var opKindNames = [...]string{
+	Input: "Input", Conv2D: "Conv2D", Pool2D: "Pool2D", MatMul: "MatMul",
+	Embedding: "Embedding", LSTM: "LSTM", Attention: "Attention",
+	Softmax: "Softmax", Concat: "Concat", Add: "Add",
+	Activation: "Activation", Flatten: "Flatten", Stack: "Stack",
+}
+
+func (k OpKind) String() string {
+	if int(k) < len(opKindNames) && opKindNames[k] != "" {
+		return opKindNames[k]
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// NumOpKinds is the number of distinct operation kinds (used by the
+// performance model's cache sizing).
+const NumOpKinds = int(Stack) + 1
+
+// Op is a node of the operator graph. Its output tensor shape carries
+// the SOAP dimension classification; Inputs reference producer ops whose
+// output tensors this op consumes.
+type Op struct {
+	ID     int
+	Kind   OpKind
+	Name   string
+	Out    tensor.Shape
+	Inputs []*Op
+
+	// Convolution / pooling geometry.
+	KernelH, KernelW int
+	StrideH, StrideW int
+	PadH, PadW       int
+
+	// ConcatDim is the output dimension along which Concat joins inputs.
+	ConcatDim int
+
+	// Step is the unroll step index for recurrent ops whose sequence
+	// input is a 3D (sample, length, channel) tensor.
+	Step int
+
+	// InChannels caches the contraction depth for MatMul-like ops.
+	InChannels int
+
+	// Layer is an optional model-assigned layer index (embedding = 0,
+	// first LSTM = 1, ...). Expert-designed strategies for RNNs place
+	// "operations with the same depth on the same GPU" (Section 8.2.1);
+	// model builders set this so the expert baseline can do that.
+	// -1 (set by the builder) means unannotated.
+	Layer int
+
+	// WeightElems is the number of trainable parameters of the op.
+	WeightElems int64
+}
+
+func (o *Op) String() string {
+	return fmt.Sprintf("%s %q out=%s", o.Kind, o.Name, o.Out)
+}
+
+// ParallelDims returns the indices of the output dimensions this op may
+// be partitioned along. This is Table 1 of the paper generalized to all
+// supported op kinds: every op has a sample dimension; attribute
+// dimensions are positions within a sample; parameter dimensions split
+// the weights.
+func (o *Op) ParallelDims() []int {
+	return o.Out.ParallelizableDims()
+}
+
+// ForwardFLOPs returns the floating-point operations needed to compute
+// the given output region in the forward pass. The performance model
+// divides this by effective device throughput.
+func (o *Op) ForwardFLOPs(out tensor.Region) int64 {
+	vol := out.Volume()
+	switch o.Kind {
+	case Input:
+		return 0
+	case Conv2D:
+		cin := o.Inputs[0].Out.Size(1)
+		return 2 * vol * int64(cin) * int64(o.KernelH) * int64(o.KernelW)
+	case Pool2D:
+		return vol * int64(o.KernelH) * int64(o.KernelW)
+	case MatMul, Softmax:
+		// Linear projection dominates; softmax adds ~5 ops/element.
+		f := 2 * vol * int64(o.InChannels)
+		if o.Kind == Softmax {
+			f += 5 * vol
+		}
+		return f
+	case Embedding:
+		return vol // gather
+	case LSTM:
+		// Four gates, each a matmul over concat(x, h) plus elementwise.
+		samples := int64(out.Iv[0].Len())
+		hidden := int64(out.Iv[1].Len())
+		cin := int64(o.InChannels)
+		full := int64(o.Out.Size(1))
+		return 2*samples*4*hidden*(cin+full) + 10*samples*hidden
+	case Attention:
+		// Scores against every encoder position + weighted sum + proj.
+		samples := int64(out.Iv[0].Len())
+		hidden := int64(out.Iv[1].Len())
+		srcLen := int64(o.Inputs[1].Out.Size(1))
+		return 2*samples*srcLen*int64(o.Out.Size(1)) + 2*samples*srcLen*hidden + 2*samples*hidden*int64(o.InChannels)
+	case Concat, Add, Activation, Flatten, Stack:
+		return vol
+	default:
+		panic(fmt.Sprintf("graph: ForwardFLOPs for unknown kind %v", o.Kind))
+	}
+}
+
+// BackwardFLOPs returns the FLOPs of the backward pass for the region.
+// Computing input gradients and weight gradients each roughly replay the
+// forward computation, the standard 2x rule.
+func (o *Op) BackwardFLOPs(out tensor.Region) int64 {
+	return 2 * o.ForwardFLOPs(out)
+}
+
+// WeightBytes returns the storage for the op's parameters in bytes.
+func (o *Op) WeightBytes() int64 { return o.WeightElems * tensor.ElemBytes }
+
+// HasWeights reports whether the op has trainable parameters.
+func (o *Op) HasWeights() bool { return o.WeightElems > 0 }
+
+// paramDimProduct returns the product of the given degrees over the
+// Parameter dimensions of the output shape.
+func (o *Op) paramDimProduct(degrees []int) int {
+	p := 1
+	for i, d := range degrees {
+		if o.Out.Kind(i) == tensor.Parameter {
+			p *= d
+		}
+	}
+	return p
+}
+
+// WeightSlice describes how a parallelization degree vector splits the
+// op's parameters: the weights divide into Slices equal shards, each
+// replicated Replicas times across the tasks.
+type WeightSlice struct {
+	Slices   int   // number of disjoint weight shards
+	Replicas int   // tasks holding a copy of each shard
+	Elems    int64 // parameters per shard
+}
+
+// Weights reports how the degree vector partitions/replicates the op's
+// parameters. Tasks that differ only in non-Parameter grid coordinates
+// replicate the same shard and must synchronize gradients (the ring
+// all-reduce the task-graph builder emits).
+func (o *Op) Weights(degrees []int) WeightSlice {
+	if o.WeightElems == 0 {
+		return WeightSlice{}
+	}
+	p := o.paramDimProduct(degrees)
+	total := tensor.GridVolume(degrees)
+	return WeightSlice{
+		Slices:   p,
+		Replicas: total / p,
+		Elems:    o.WeightElems / int64(p),
+	}
+}

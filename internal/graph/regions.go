@@ -1,0 +1,165 @@
+package graph
+
+import (
+	"fmt"
+
+	"flexflow/internal/tensor"
+)
+
+// InputRegions computes, for each input tensor of op, the sub-region a
+// task must read to produce the given output region (Section 4: "Given
+// the output tensor of a task and its operation type, we can infer the
+// necessary input tensors to execute each task"). Convolutions and
+// pooling include the halo rows/columns implied by their receptive
+// field; matrix multiplications need full reduction depth; concats remap
+// the concatenated dimension to per-input coordinates.
+//
+// The returned slice is parallel to op.Inputs. Regions are expressed in
+// each input tensor's own coordinate space and are clamped to it.
+func InputRegions(op *Op, out tensor.Region) []tensor.Region {
+	switch op.Kind {
+	case Input:
+		return nil
+	case Conv2D:
+		in := op.Inputs[0].Out
+		return []tensor.Region{{Iv: []tensor.Interval{
+			out.Iv[0],
+			{Lo: 0, Hi: in.Size(1)}, // full input channels (reduction)
+			receptive(out.Iv[2], op.KernelH, op.StrideH, op.PadH, in.Size(2)),
+			receptive(out.Iv[3], op.KernelW, op.StrideW, op.PadW, in.Size(3)),
+		}}}
+	case Pool2D:
+		in := op.Inputs[0].Out
+		return []tensor.Region{{Iv: []tensor.Interval{
+			out.Iv[0],
+			out.Iv[1], // pooling is per-channel
+			receptive(out.Iv[2], op.KernelH, op.StrideH, op.PadH, in.Size(2)),
+			receptive(out.Iv[3], op.KernelW, op.StrideW, op.PadW, in.Size(3)),
+		}}}
+	case MatMul, Softmax:
+		in := op.Inputs[0].Out
+		return []tensor.Region{{Iv: []tensor.Interval{
+			out.Iv[0],
+			{Lo: 0, Hi: in.Size(1)}, // full reduction depth
+		}}}
+	case Embedding:
+		// Need the token ids for our samples over the length slice.
+		return []tensor.Region{{Iv: []tensor.Interval{
+			out.Iv[0],
+			out.Iv[1],
+		}}}
+	case LSTM:
+		seq := op.Inputs[0].Out
+		var xRegion tensor.Region
+		if seq.Rank() == 3 {
+			xRegion = tensor.Region{Iv: []tensor.Interval{
+				out.Iv[0],
+				{Lo: op.Step, Hi: op.Step + 1},
+				{Lo: 0, Hi: seq.Size(2)}, // gates contract over full input channels
+			}}
+		} else {
+			xRegion = tensor.Region{Iv: []tensor.Interval{
+				out.Iv[0],
+				{Lo: 0, Hi: seq.Size(1)},
+			}}
+		}
+		regions := []tensor.Region{xRegion}
+		if len(op.Inputs) == 2 {
+			prev := op.Inputs[1].Out
+			regions = append(regions, tensor.Region{Iv: []tensor.Interval{
+				out.Iv[0],
+				{Lo: 0, Hi: prev.Size(1)}, // full previous hidden state
+			}})
+		}
+		return regions
+	case Attention:
+		q := op.Inputs[0].Out
+		m := op.Inputs[1].Out
+		return []tensor.Region{
+			{Iv: []tensor.Interval{out.Iv[0], {Lo: 0, Hi: q.Size(1)}}},
+			{Iv: []tensor.Interval{out.Iv[0], {Lo: 0, Hi: m.Size(1)}, {Lo: 0, Hi: m.Size(2)}}},
+		}
+	case Stack:
+		regions := make([]tensor.Region, len(op.Inputs))
+		for i, in := range op.Inputs {
+			want := out.Iv[1].Intersect(tensor.Interval{Lo: i, Hi: i + 1})
+			if want.Empty() {
+				regions[i] = tensor.Region{Iv: []tensor.Interval{{}, {}}}
+				continue
+			}
+			regions[i] = tensor.Region{Iv: []tensor.Interval{
+				out.Iv[0],
+				{Lo: 0, Hi: in.Out.Size(1)},
+			}}
+			// Tighten to the channel slice actually requested.
+			regions[i].Iv[1] = out.Iv[2]
+		}
+		return regions
+	case Concat:
+		regions := make([]tensor.Region, len(op.Inputs))
+		off := 0
+		d := op.ConcatDim
+		for i, in := range op.Inputs {
+			size := in.Out.Size(d)
+			iv := make([]tensor.Interval, out.Rank())
+			copy(iv, out.Iv)
+			// Map the output interval back into this input's coordinates.
+			seg := out.Iv[d].Intersect(tensor.Interval{Lo: off, Hi: off + size})
+			iv[d] = tensor.Interval{Lo: seg.Lo - off, Hi: seg.Hi - off}
+			if iv[d].Empty() {
+				iv[d] = tensor.Interval{}
+				// Region is empty: this task reads nothing from input i.
+				for j := range iv {
+					if j != d {
+						iv[j] = tensor.Interval{}
+					}
+				}
+			}
+			regions[i] = tensor.Region{Iv: iv}
+			off += size
+		}
+		return regions
+	case Add:
+		return []tensor.Region{out.Clone(), out.Clone()}
+	case Activation:
+		return []tensor.Region{out.Clone()}
+	case Flatten:
+		in := op.Inputs[0].Out
+		c, h, w := in.Size(1), in.Size(2), in.Size(3)
+		// Map the flat feature interval to a bounding region of (c,h,w).
+		// The exact element set is not hyper-rectangular; the bounding
+		// box is a conservative covering used for communication sizing.
+		// The numeric executor gathers exact elements by index instead.
+		feat := out.Iv[1]
+		if feat.Len() == c*h*w {
+			return []tensor.Region{{Iv: []tensor.Interval{
+				out.Iv[0], {Lo: 0, Hi: c}, {Lo: 0, Hi: h}, {Lo: 0, Hi: w},
+			}}}
+		}
+		cLo := feat.Lo / (h * w)
+		cHi := (feat.Hi-1)/(h*w) + 1
+		iv := []tensor.Interval{out.Iv[0], {Lo: cLo, Hi: cHi}, {Lo: 0, Hi: h}, {Lo: 0, Hi: w}}
+		if cHi-cLo == 1 {
+			// Within one channel plane we can tighten the h range too.
+			rem := tensor.Interval{Lo: feat.Lo - cLo*h*w, Hi: feat.Hi - cLo*h*w}
+			hLo := rem.Lo / w
+			hHi := (rem.Hi-1)/w + 1
+			iv[2] = tensor.Interval{Lo: hLo, Hi: hHi}
+			if hHi-hLo == 1 {
+				iv[3] = tensor.Interval{Lo: rem.Lo - hLo*w, Hi: rem.Hi - hLo*w}
+			}
+		}
+		return []tensor.Region{{Iv: iv}}
+	default:
+		panic(fmt.Sprintf("graph: InputRegions for unknown kind %v", op.Kind))
+	}
+}
+
+// receptive maps an output interval through a conv/pool geometry to the
+// input rows/cols it reads, clamped to the input extent. This is the
+// halo math: adjacent output partitions need overlapping input slices.
+func receptive(out tensor.Interval, kernel, stride, pad, inSize int) tensor.Interval {
+	lo := out.Lo*stride - pad
+	hi := (out.Hi-1)*stride - pad + kernel
+	return tensor.Interval{Lo: lo, Hi: hi}.Clamp(inSize)
+}

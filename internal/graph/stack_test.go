@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"testing"
+
+	"flexflow/internal/tensor"
+)
+
+func stackFixture(t *testing.T) (*Graph, *Op) {
+	t.Helper()
+	g := New("stack")
+	ids := g.InputSeq("tok", 4, 3)
+	emb := g.Embedding("emb", ids, 50, 8)
+	var prev *Op
+	steps := make([]*Op, 3)
+	for s := 0; s < 3; s++ {
+		prev = g.LSTMStep("l", emb, prev, s, 8)
+		steps[s] = prev
+	}
+	return g, g.StackSteps("stack", steps...)
+}
+
+func TestStackStepsShape(t *testing.T) {
+	g, st := stackFixture(t)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := tensor.MakeShape(
+		tensor.D(DimSample, 4, tensor.Sample),
+		tensor.D(DimLength, 3, tensor.Attribute),
+		tensor.D(DimChannel, 8, tensor.Attribute),
+	)
+	if !st.Out.Equal(want) {
+		t.Fatalf("stack shape = %v, want %v", st.Out, want)
+	}
+	if st.HasWeights() {
+		t.Fatal("stack should be weightless")
+	}
+	// All three dims parallelizable (none unsplittable, all > 1).
+	if got := len(st.ParallelDims()); got != 3 {
+		t.Fatalf("parallel dims = %d", got)
+	}
+}
+
+func TestStackInputRegions(t *testing.T) {
+	_, st := stackFixture(t)
+	// A slice covering steps 1..2 and channels 2..6 reads those channel
+	// slices from exactly inputs 1 and 2; input 0 gets an empty region.
+	out := st.Out.FullRegion()
+	out.Iv[1] = tensor.Interval{Lo: 1, Hi: 3}
+	out.Iv[2] = tensor.Interval{Lo: 2, Hi: 6}
+	rs := InputRegions(st, out)
+	if len(rs) != 3 {
+		t.Fatalf("regions = %d", len(rs))
+	}
+	if !rs[0].Empty() {
+		t.Fatalf("input 0 region should be empty, got %v", rs[0])
+	}
+	for i := 1; i < 3; i++ {
+		if rs[i].Iv[0].Len() != 4 || rs[i].Iv[1] != (tensor.Interval{Lo: 2, Hi: 6}) {
+			t.Fatalf("input %d region = %v", i, rs[i])
+		}
+	}
+}
+
+func TestStackStepsPanics(t *testing.T) {
+	cases := map[string]func(g *Graph){
+		"empty": func(g *Graph) { g.StackSteps("s") },
+		"non2d": func(g *Graph) {
+			x := g.Input4D("x", 2, 3, 4, 4)
+			g.StackSteps("s", x)
+		},
+		"mismatch": func(g *Graph) {
+			ids := g.InputSeq("tok", 4, 2)
+			emb := g.Embedding("emb", ids, 10, 8)
+			a := g.LSTMStep("a", emb, nil, 0, 8)
+			b := g.LSTMStep("b", emb, nil, 1, 16)
+			g.StackSteps("s", a, b)
+		},
+	}
+	for name, fn := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn(New("p"))
+		})
+	}
+}
+
+func TestLSTM2DStepInput(t *testing.T) {
+	// Stacked layers feed 2D per-step tensors; verify shape + regions.
+	g := New("stacked")
+	ids := g.InputSeq("tok", 4, 2)
+	emb := g.Embedding("emb", ids, 10, 8)
+	l0 := g.LSTMStep("l0", emb, nil, 0, 8)
+	l1 := g.LSTMStep("l1", l0, nil, 0, 16)
+	if l1.InChannels != 8 {
+		t.Fatalf("2D LSTM input channels = %d", l1.InChannels)
+	}
+	out := l1.Out.FullRegion()
+	out.Iv[0] = tensor.Interval{Lo: 1, Hi: 3}
+	rs := InputRegions(l1, out)
+	if rs[0].Rank() != 2 {
+		t.Fatalf("2D step input region rank = %d", rs[0].Rank())
+	}
+	if rs[0].Iv[0] != (tensor.Interval{Lo: 1, Hi: 3}) || rs[0].Iv[1].Len() != 8 {
+		t.Fatalf("2D step input region = %v", rs[0])
+	}
+}

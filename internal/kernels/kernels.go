@@ -1,0 +1,425 @@
+// Package kernels provides real float32 compute kernels for every
+// operator kind. They give the operator graph an executable semantics,
+// which lets the test suite prove that SOAP partitioning is semantically
+// correct: executing any parallelization strategy task-by-task and
+// assembling the shards reproduces the unpartitioned computation
+// exactly (see internal/exec).
+//
+// Each kernel computes an arbitrary hyper-rectangular region of the
+// output from full input tensors; a task's computation is the kernel
+// applied to the task's output region. Kernels are written so that each
+// output element's arithmetic is identical regardless of the region it
+// is computed in, making shard assembly bit-exact.
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"flexflow/internal/tensor"
+)
+
+// Tensor is a dense float32 tensor in row-major layout.
+type Tensor struct {
+	Dims []int
+	Data []float32
+}
+
+// NewTensor allocates a zero tensor with the given dimensions.
+func NewTensor(dims ...int) *Tensor {
+	n := 1
+	for _, d := range dims {
+		if d <= 0 {
+			panic(fmt.Sprintf("kernels: non-positive dim %d", d))
+		}
+		n *= d
+	}
+	return &Tensor{Dims: append([]int{}, dims...), Data: make([]float32, n)}
+}
+
+// FromShape allocates a tensor matching a graph shape.
+func FromShape(s tensor.Shape) *Tensor { return NewTensor(s.Sizes()...) }
+
+// Len returns the number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Index converts coordinates to a flat offset.
+func (t *Tensor) Index(coords ...int) int {
+	if len(coords) != len(t.Dims) {
+		panic(fmt.Sprintf("kernels: %d coords for %dD tensor", len(coords), len(t.Dims)))
+	}
+	idx := 0
+	for i, c := range coords {
+		if c < 0 || c >= t.Dims[i] {
+			panic(fmt.Sprintf("kernels: coord %d out of range [0,%d)", c, t.Dims[i]))
+		}
+		idx = idx*t.Dims[i] + c
+	}
+	return idx
+}
+
+// At reads the element at the coordinates.
+func (t *Tensor) At(coords ...int) float32 { return t.Data[t.Index(coords...)] }
+
+// Set writes the element at the coordinates.
+func (t *Tensor) Set(v float32, coords ...int) { t.Data[t.Index(coords...)] = v }
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Clone deep-copies the tensor.
+func (t *Tensor) Clone() *Tensor {
+	out := &Tensor{Dims: append([]int{}, t.Dims...), Data: make([]float32, len(t.Data))}
+	copy(out.Data, t.Data)
+	return out
+}
+
+// Equal reports element-wise equality within tol.
+func (t *Tensor) Equal(o *Tensor, tol float64) bool {
+	if len(t.Data) != len(o.Data) {
+		return false
+	}
+	for i := range t.Data {
+		d := float64(t.Data[i]) - float64(o.Data[i])
+		if math.Abs(d) > tol || math.IsNaN(d) {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest element-wise absolute difference.
+func (t *Tensor) MaxAbsDiff(o *Tensor) float64 {
+	var worst float64
+	for i := range t.Data {
+		d := math.Abs(float64(t.Data[i]) - float64(o.Data[i]))
+		if d > worst || math.IsNaN(d) {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// PseudoRandomFill fills the tensor with a deterministic pseudo-random
+// pattern in [-0.5, 0.5) derived from the seed (xorshift; no math/rand
+// allocation per element).
+func (t *Tensor) PseudoRandomFill(seed uint64) {
+	s := seed*2654435761 + 1
+	for i := range t.Data {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		t.Data[i] = float32(s%100000)/100000.0 - 0.5
+	}
+}
+
+// PseudoRandomIDs fills the tensor with deterministic integer ids in
+// [0, vocab) stored as floats (token inputs for embedding lookups).
+func (t *Tensor) PseudoRandomIDs(seed uint64, vocab int) {
+	s := seed*11400714819323198485 + 3
+	for i := range t.Data {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		t.Data[i] = float32(s % uint64(vocab))
+	}
+}
+
+// Conv2D computes out[n, co, oh, ow] for the region: a direct
+// convolution with bias over input (n, ci, h, w) and weights
+// (co, ci, kh, kw) with the given stride and padding.
+func Conv2D(out, in, weights, bias *Tensor, region tensor.Region, sh, sw, ph, pw int) {
+	ci, ih, iw := in.Dims[1], in.Dims[2], in.Dims[3]
+	kh, kw := weights.Dims[2], weights.Dims[3]
+	for n := region.Iv[0].Lo; n < region.Iv[0].Hi; n++ {
+		for co := region.Iv[1].Lo; co < region.Iv[1].Hi; co++ {
+			for oh := region.Iv[2].Lo; oh < region.Iv[2].Hi; oh++ {
+				for ow := region.Iv[3].Lo; ow < region.Iv[3].Hi; ow++ {
+					acc := bias.Data[co]
+					for c := 0; c < ci; c++ {
+						for y := 0; y < kh; y++ {
+							inY := oh*sh - ph + y
+							if inY < 0 || inY >= ih {
+								continue
+							}
+							for x := 0; x < kw; x++ {
+								inX := ow*sw - pw + x
+								if inX < 0 || inX >= iw {
+									continue
+								}
+								acc += in.At(n, c, inY, inX) * weights.At(co, c, y, x)
+							}
+						}
+					}
+					out.Set(acc, n, co, oh, ow)
+				}
+			}
+		}
+	}
+}
+
+// MaxPool2D computes max pooling over the region.
+func MaxPool2D(out, in *Tensor, region tensor.Region, kh, kw, sh, sw, ph, pw int) {
+	ih, iw := in.Dims[2], in.Dims[3]
+	for n := region.Iv[0].Lo; n < region.Iv[0].Hi; n++ {
+		for c := region.Iv[1].Lo; c < region.Iv[1].Hi; c++ {
+			for oh := region.Iv[2].Lo; oh < region.Iv[2].Hi; oh++ {
+				for ow := region.Iv[3].Lo; ow < region.Iv[3].Hi; ow++ {
+					best := float32(math.Inf(-1))
+					for y := 0; y < kh; y++ {
+						inY := oh*sh - ph + y
+						if inY < 0 || inY >= ih {
+							continue
+						}
+						for x := 0; x < kw; x++ {
+							inX := ow*sw - pw + x
+							if inX < 0 || inX >= iw {
+								continue
+							}
+							if v := in.At(n, c, inY, inX); v > best {
+								best = v
+							}
+						}
+					}
+					out.Set(best, n, c, oh, ow)
+				}
+			}
+		}
+	}
+}
+
+// MatMul computes out[n, co] = sum_ci in[n, ci] * w[ci, co] + b[co] over
+// the region.
+func MatMul(out, in, weights, bias *Tensor, region tensor.Region) {
+	ci := in.Dims[1]
+	for n := region.Iv[0].Lo; n < region.Iv[0].Hi; n++ {
+		for co := region.Iv[1].Lo; co < region.Iv[1].Hi; co++ {
+			acc := bias.Data[co]
+			for c := 0; c < ci; c++ {
+				acc += in.At(n, c) * weights.At(c, co)
+			}
+			out.Set(acc, n, co)
+		}
+	}
+}
+
+// SoftmaxLinear computes a linear projection followed by a
+// softmax over the class dimension. The normalizer is computed over all
+// classes regardless of the output region, so channel-partitioned tasks
+// produce exactly the same values as the unpartitioned op.
+func SoftmaxLinear(out, in, weights, bias *Tensor, region tensor.Region) {
+	classes := weights.Dims[1]
+	logits := make([]float64, classes)
+	for n := region.Iv[0].Lo; n < region.Iv[0].Hi; n++ {
+		max := math.Inf(-1)
+		for co := 0; co < classes; co++ {
+			acc := float64(bias.Data[co])
+			for c := 0; c < in.Dims[1]; c++ {
+				acc += float64(in.At(n, c)) * float64(weights.At(c, co))
+			}
+			logits[co] = acc
+			if acc > max {
+				max = acc
+			}
+		}
+		var sum float64
+		for co := 0; co < classes; co++ {
+			logits[co] = math.Exp(logits[co] - max)
+			sum += logits[co]
+		}
+		for co := region.Iv[1].Lo; co < region.Iv[1].Hi; co++ {
+			out.Set(float32(logits[co]/sum), n, co)
+		}
+	}
+}
+
+// Embedding gathers rows of the table (vocab, channels) for the id at
+// (n, step) producing out[n, step, channel] over the region.
+func Embedding(out, ids, table *Tensor, region tensor.Region) {
+	vocab := table.Dims[0]
+	for n := region.Iv[0].Lo; n < region.Iv[0].Hi; n++ {
+		for s := region.Iv[1].Lo; s < region.Iv[1].Hi; s++ {
+			id := int(ids.At(n, s))
+			if id < 0 || id >= vocab {
+				id = 0
+			}
+			for c := region.Iv[2].Lo; c < region.Iv[2].Hi; c++ {
+				out.Set(table.At(id, c), n, s, c)
+			}
+		}
+	}
+}
+
+// RecurrentCell computes one recurrent step,
+// h_t[n, j] = tanh(x W_x + h_{t-1} W_h + b)[n, j], over the region.
+// x is either 3D (sample, length, channel) sliced at `step`, or 2D
+// (sample, channel). prev may be nil for the first step. (The cost model
+// prices the op as a full 4-gate LSTM; the numeric semantics use an
+// Elman cell — the partitioning-equivalence property being validated is
+// independent of cell internals.)
+func RecurrentCell(out, x, prev, wx, wh, bias *Tensor, region tensor.Region, step int) {
+	xAt := func(n, c int) float32 {
+		if len(x.Dims) == 3 {
+			return x.At(n, step, c)
+		}
+		return x.At(n, c)
+	}
+	cin := wx.Dims[0]
+	hidden := wh.Dims[0]
+	for n := region.Iv[0].Lo; n < region.Iv[0].Hi; n++ {
+		for j := region.Iv[1].Lo; j < region.Iv[1].Hi; j++ {
+			acc := bias.Data[j]
+			for c := 0; c < cin; c++ {
+				acc += xAt(n, c) * wx.At(c, j)
+			}
+			if prev != nil {
+				for c := 0; c < hidden; c++ {
+					acc += prev.At(n, c) * wh.At(c, j)
+				}
+			}
+			out.Set(float32(math.Tanh(float64(acc))), n, j)
+		}
+	}
+}
+
+// Attention computes dot-product attention of the query (sample, hidden)
+// over memory (sample, srclen, hidden), then projects the context with
+// wProj (hidden, hidden): out[n, j] over the region. Score weights wScore
+// (hidden, hidden) implement a bilinear score q^T W m.
+func Attention(out, query, memory, wScore, wProj *Tensor, region tensor.Region) {
+	srcLen, hidden := memory.Dims[1], memory.Dims[2]
+	scores := make([]float64, srcLen)
+	scored := make([]float64, hidden)
+	context := make([]float64, hidden)
+	for n := region.Iv[0].Lo; n < region.Iv[0].Hi; n++ {
+		// Transformed query: q^T W.
+		for j := 0; j < hidden; j++ {
+			var acc float64
+			for c := 0; c < hidden; c++ {
+				acc += float64(query.At(n, c)) * float64(wScore.At(c, j))
+			}
+			scored[j] = acc
+		}
+		max := math.Inf(-1)
+		for s := 0; s < srcLen; s++ {
+			var acc float64
+			for j := 0; j < hidden; j++ {
+				acc += scored[j] * float64(memory.At(n, s, j))
+			}
+			scores[s] = acc
+			if acc > max {
+				max = acc
+			}
+		}
+		var sum float64
+		for s := 0; s < srcLen; s++ {
+			scores[s] = math.Exp(scores[s] - max)
+			sum += scores[s]
+		}
+		for j := 0; j < hidden; j++ {
+			var acc float64
+			for s := 0; s < srcLen; s++ {
+				acc += scores[s] / sum * float64(memory.At(n, s, j))
+			}
+			context[j] = acc
+		}
+		for j := region.Iv[1].Lo; j < region.Iv[1].Hi; j++ {
+			var acc float64
+			for c := 0; c < hidden; c++ {
+				acc += context[c] * float64(wProj.At(c, j))
+			}
+			out.Set(float32(math.Tanh(acc)), n, j)
+		}
+	}
+}
+
+// ConcatChannels copies channel-concatenated 4D inputs into the region.
+func ConcatChannels(out *Tensor, ins []*Tensor, region tensor.Region) {
+	for n := region.Iv[0].Lo; n < region.Iv[0].Hi; n++ {
+		for c := region.Iv[1].Lo; c < region.Iv[1].Hi; c++ {
+			src, off := 0, 0
+			for c >= off+ins[src].Dims[1] {
+				off += ins[src].Dims[1]
+				src++
+			}
+			for h := region.Iv[2].Lo; h < region.Iv[2].Hi; h++ {
+				for w := region.Iv[3].Lo; w < region.Iv[3].Hi; w++ {
+					out.Set(ins[src].At(n, c-off, h, w), n, c, h, w)
+				}
+			}
+		}
+	}
+}
+
+// Add computes element-wise a+b over a 4D region.
+func Add(out, a, b *Tensor, region tensor.Region) {
+	forEachRegion(region, func(coords []int) {
+		out.Set(a.At(coords...)+b.At(coords...), coords...)
+	})
+}
+
+// ReLU computes max(0, x) over a region of any rank.
+func ReLU(out, in *Tensor, region tensor.Region) {
+	forEachRegion(region, func(coords []int) {
+		v := in.At(coords...)
+		if v < 0 {
+			v = 0
+		}
+		out.Set(v, coords...)
+	})
+}
+
+// Flatten copies a 4D (n, c, h, w) tensor into (n, c*h*w) over the
+// output region.
+func Flatten(out, in *Tensor, region tensor.Region) {
+	h, w := in.Dims[2], in.Dims[3]
+	for n := region.Iv[0].Lo; n < region.Iv[0].Hi; n++ {
+		for f := region.Iv[1].Lo; f < region.Iv[1].Hi; f++ {
+			c := f / (h * w)
+			rem := f % (h * w)
+			out.Set(in.At(n, c, rem/w, rem%w), n, f)
+		}
+	}
+}
+
+// Stack copies per-step 2D tensors into (n, step, channel) over the
+// region.
+func Stack(out *Tensor, steps []*Tensor, region tensor.Region) {
+	for n := region.Iv[0].Lo; n < region.Iv[0].Hi; n++ {
+		for s := region.Iv[1].Lo; s < region.Iv[1].Hi; s++ {
+			for c := region.Iv[2].Lo; c < region.Iv[2].Hi; c++ {
+				out.Set(steps[s].At(n, c), n, s, c)
+			}
+		}
+	}
+}
+
+// forEachRegion visits every coordinate tuple in the region.
+func forEachRegion(region tensor.Region, fn func(coords []int)) {
+	rank := region.Rank()
+	coords := make([]int, rank)
+	for i, iv := range region.Iv {
+		coords[i] = iv.Lo
+	}
+	if region.Empty() {
+		return
+	}
+	for {
+		fn(coords)
+		d := rank - 1
+		for ; d >= 0; d-- {
+			coords[d]++
+			if coords[d] < region.Iv[d].Hi {
+				break
+			}
+			coords[d] = region.Iv[d].Lo
+		}
+		if d < 0 {
+			return
+		}
+	}
+}

@@ -1,0 +1,352 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"flexflow/internal/tensor"
+)
+
+func reg(iv ...tensor.Interval) tensor.Region { return tensor.Region{Iv: iv} }
+
+func TestTensorBasics(t *testing.T) {
+	a := NewTensor(2, 3)
+	if a.Len() != 6 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	a.Set(5, 1, 2)
+	if a.At(1, 2) != 5 {
+		t.Fatal("Set/At mismatch")
+	}
+	if a.Index(1, 2) != 5 {
+		t.Fatalf("Index = %d", a.Index(1, 2))
+	}
+	a.Fill(2)
+	if a.At(0, 0) != 2 {
+		t.Fatal("Fill failed")
+	}
+	b := a.Clone()
+	b.Set(9, 0, 0)
+	if a.At(0, 0) == 9 {
+		t.Fatal("clone aliases original")
+	}
+	if !a.Equal(a.Clone(), 0) {
+		t.Fatal("Equal failed on identical tensors")
+	}
+	if a.Equal(NewTensor(3, 2), 0) {
+		t.Fatal("Equal across sizes")
+	}
+}
+
+func TestTensorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"bad-dim":    func() { NewTensor(0) },
+		"bad-coords": func() { NewTensor(2, 2).At(1) },
+		"oob":        func() { NewTensor(2, 2).At(2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPseudoRandomDeterministic(t *testing.T) {
+	a := NewTensor(100)
+	b := NewTensor(100)
+	a.PseudoRandomFill(7)
+	b.PseudoRandomFill(7)
+	if !a.Equal(b, 0) {
+		t.Fatal("same seed differs")
+	}
+	c := NewTensor(100)
+	c.PseudoRandomFill(8)
+	if a.Equal(c, 0) {
+		t.Fatal("different seeds agree")
+	}
+	for _, v := range a.Data {
+		if v < -0.5 || v >= 0.5 {
+			t.Fatalf("fill out of range: %v", v)
+		}
+	}
+	ids := NewTensor(50)
+	ids.PseudoRandomIDs(3, 10)
+	for _, v := range ids.Data {
+		if v != float32(int(v)) || v < 0 || v >= 10 {
+			t.Fatalf("bad id %v", v)
+		}
+	}
+}
+
+func TestFromShape(t *testing.T) {
+	s := tensor.MakeShape(tensor.D("a", 2, tensor.Sample), tensor.D("b", 5, tensor.Parameter))
+	ft := FromShape(s)
+	if len(ft.Dims) != 2 || ft.Dims[1] != 5 {
+		t.Fatalf("dims = %v", ft.Dims)
+	}
+}
+
+func TestConv2DIdentityKernel(t *testing.T) {
+	in := NewTensor(1, 1, 3, 3)
+	for i := range in.Data {
+		in.Data[i] = float32(i)
+	}
+	w := NewTensor(1, 1, 1, 1)
+	w.Set(1, 0, 0, 0, 0)
+	b := NewTensor(1)
+	out := NewTensor(1, 1, 3, 3)
+	Conv2D(out, in, w, b, out2DRegion(out), 1, 1, 0, 0)
+	if !out.Equal(in, 0) {
+		t.Fatal("1x1 identity convolution changed values")
+	}
+}
+
+func out2DRegion(t *Tensor) tensor.Region {
+	iv := make([]tensor.Interval, len(t.Dims))
+	for i, d := range t.Dims {
+		iv[i] = tensor.Interval{Lo: 0, Hi: d}
+	}
+	return tensor.Region{Iv: iv}
+}
+
+func TestConv2DKnownValues(t *testing.T) {
+	// 2x2 input, 2x2 kernel of ones, no padding: output = sum of inputs.
+	in := NewTensor(1, 1, 2, 2)
+	in.Data = []float32{1, 2, 3, 4}
+	w := NewTensor(1, 1, 2, 2)
+	w.Fill(1)
+	b := NewTensor(1)
+	b.Data[0] = 0.5
+	out := NewTensor(1, 1, 1, 1)
+	Conv2D(out, in, w, b, out2DRegion(out), 1, 1, 0, 0)
+	if out.Data[0] != 10.5 {
+		t.Fatalf("conv = %v, want 10.5", out.Data[0])
+	}
+}
+
+func TestConv2DPadding(t *testing.T) {
+	in := NewTensor(1, 1, 2, 2)
+	in.Fill(1)
+	w := NewTensor(1, 1, 3, 3)
+	w.Fill(1)
+	b := NewTensor(1)
+	out := NewTensor(1, 1, 2, 2)
+	Conv2D(out, in, w, b, out2DRegion(out), 1, 1, 1, 1)
+	// Corner sees 4 in-bounds inputs.
+	if out.At(0, 0, 0, 0) != 4 {
+		t.Fatalf("padded corner = %v", out.At(0, 0, 0, 0))
+	}
+}
+
+func TestMaxPool2D(t *testing.T) {
+	in := NewTensor(1, 1, 2, 2)
+	in.Data = []float32{1, -2, 3, 0}
+	out := NewTensor(1, 1, 1, 1)
+	MaxPool2D(out, in, out2DRegion(out), 2, 2, 2, 2, 0, 0)
+	if out.Data[0] != 3 {
+		t.Fatalf("maxpool = %v", out.Data[0])
+	}
+}
+
+func TestMatMulKnownValues(t *testing.T) {
+	in := NewTensor(1, 2)
+	in.Data = []float32{1, 2}
+	w := NewTensor(2, 2)
+	w.Data = []float32{1, 2, 3, 4} // w[0][*]=1,2; w[1][*]=3,4
+	b := NewTensor(2)
+	b.Data = []float32{10, 20}
+	out := NewTensor(1, 2)
+	MatMul(out, in, w, b, out2DRegion(out))
+	// out[0] = 1*1+2*3+10 = 17; out[1] = 1*2+2*4+20 = 30.
+	if out.Data[0] != 17 || out.Data[1] != 30 {
+		t.Fatalf("matmul = %v", out.Data)
+	}
+}
+
+func TestSoftmaxLinearNormalizes(t *testing.T) {
+	in := NewTensor(2, 3)
+	in.PseudoRandomFill(1)
+	w := NewTensor(3, 4)
+	w.PseudoRandomFill(2)
+	b := NewTensor(4)
+	out := NewTensor(2, 4)
+	SoftmaxLinear(out, in, w, b, out2DRegion(out))
+	for n := 0; n < 2; n++ {
+		var sum float64
+		for c := 0; c < 4; c++ {
+			v := float64(out.At(n, c))
+			if v <= 0 || v >= 1 {
+				t.Fatalf("softmax out of (0,1): %v", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-5 {
+			t.Fatalf("softmax row sums to %v", sum)
+		}
+	}
+	// Partial region equals the same slice of the full computation.
+	part := NewTensor(2, 4)
+	SoftmaxLinear(part, in, w, b, reg(tensor.Interval{Lo: 0, Hi: 2}, tensor.Interval{Lo: 1, Hi: 3}))
+	for n := 0; n < 2; n++ {
+		for c := 1; c < 3; c++ {
+			if part.At(n, c) != out.At(n, c) {
+				t.Fatal("channel-partitioned softmax diverges")
+			}
+		}
+	}
+}
+
+func TestEmbeddingLookup(t *testing.T) {
+	ids := NewTensor(1, 2)
+	ids.Data = []float32{1, 0}
+	table := NewTensor(3, 2)
+	table.Data = []float32{10, 11, 20, 21, 30, 31}
+	out := NewTensor(1, 2, 2)
+	Embedding(out, ids, table, out2DRegion(out))
+	if out.At(0, 0, 0) != 20 || out.At(0, 1, 1) != 11 {
+		t.Fatalf("embedding = %v", out.Data)
+	}
+	// Out-of-range ids clamp to row 0.
+	ids.Data[0] = 99
+	Embedding(out, ids, table, out2DRegion(out))
+	if out.At(0, 0, 0) != 10 {
+		t.Fatal("oob id not clamped")
+	}
+}
+
+func TestRecurrentCell(t *testing.T) {
+	x := NewTensor(1, 2)
+	x.Data = []float32{1, -1}
+	wx := NewTensor(2, 1)
+	wx.Data = []float32{0.5, 0.25}
+	wh := NewTensor(1, 1)
+	wh.Data = []float32{0.5}
+	b := NewTensor(1)
+	out := NewTensor(1, 1)
+	// No previous state: tanh(0.5 - 0.25) = tanh(0.25).
+	RecurrentCell(out, x, nil, wx, wh, b, out2DRegion(out), 0)
+	want := float32(math.Tanh(0.25))
+	if out.Data[0] != want {
+		t.Fatalf("cell = %v, want %v", out.Data[0], want)
+	}
+	// With previous state h=1: tanh(0.25 + 0.5).
+	prev := NewTensor(1, 1)
+	prev.Data[0] = 1
+	RecurrentCell(out, x, prev, wx, wh, b, out2DRegion(out), 0)
+	want = float32(math.Tanh(0.75))
+	if out.Data[0] != want {
+		t.Fatalf("cell with state = %v, want %v", out.Data[0], want)
+	}
+	// 3D sequence input selects the step slice.
+	seq := NewTensor(1, 2, 2)
+	seq.Data = []float32{9, 9, 1, -1} // step 1 == x
+	RecurrentCell(out, seq, prev, wx, wh, b, out2DRegion(out), 1)
+	if out.Data[0] != want {
+		t.Fatalf("3D cell = %v, want %v", out.Data[0], want)
+	}
+}
+
+func TestAttentionFocusesOnSimilarKey(t *testing.T) {
+	// Memory has two entries; the query matches entry 1 strongly, so the
+	// context should be dominated by it.
+	q := NewTensor(1, 2)
+	q.Data = []float32{5, 0}
+	mem := NewTensor(1, 2, 2)
+	mem.Data = []float32{0, 1, 1, 0} // entry0=(0,1), entry1=(1,0)
+	wScore := NewTensor(2, 2)
+	wScore.Data = []float32{1, 0, 0, 1} // identity
+	wProj := NewTensor(2, 2)
+	wProj.Data = []float32{1, 0, 0, 1}
+	out := NewTensor(1, 2)
+	Attention(out, q, mem, wScore, wProj, out2DRegion(out))
+	// Context ~ entry1 = (1, 0); projected through identity, tanh.
+	if out.At(0, 0) <= out.At(0, 1) {
+		t.Fatalf("attention did not focus: %v", out.Data)
+	}
+}
+
+func TestConcatChannelsAndStack(t *testing.T) {
+	a := NewTensor(1, 1, 1, 1)
+	a.Data[0] = 1
+	b := NewTensor(1, 2, 1, 1)
+	b.Data = []float32{2, 3}
+	out := NewTensor(1, 3, 1, 1)
+	ConcatChannels(out, []*Tensor{a, b}, out2DRegion(out))
+	if out.Data[0] != 1 || out.Data[1] != 2 || out.Data[2] != 3 {
+		t.Fatalf("concat = %v", out.Data)
+	}
+
+	s0 := NewTensor(1, 2)
+	s0.Data = []float32{1, 2}
+	s1 := NewTensor(1, 2)
+	s1.Data = []float32{3, 4}
+	st := NewTensor(1, 2, 2)
+	Stack(st, []*Tensor{s0, s1}, out2DRegion(st))
+	if st.At(0, 1, 0) != 3 || st.At(0, 0, 1) != 2 {
+		t.Fatalf("stack = %v", st.Data)
+	}
+}
+
+func TestAddReLUFlatten(t *testing.T) {
+	a := NewTensor(1, 1, 1, 2)
+	a.Data = []float32{1, -4}
+	b := NewTensor(1, 1, 1, 2)
+	b.Data = []float32{2, 1}
+	out := NewTensor(1, 1, 1, 2)
+	Add(out, a, b, out2DRegion(out))
+	if out.Data[0] != 3 || out.Data[1] != -3 {
+		t.Fatalf("add = %v", out.Data)
+	}
+	r := NewTensor(1, 1, 1, 2)
+	ReLU(r, out, out2DRegion(r))
+	if r.Data[0] != 3 || r.Data[1] != 0 {
+		t.Fatalf("relu = %v", r.Data)
+	}
+	fin := NewTensor(1, 2, 2, 2)
+	for i := range fin.Data {
+		fin.Data[i] = float32(i)
+	}
+	fout := NewTensor(1, 8)
+	Flatten(fout, fin, out2DRegion(fout))
+	for i := 0; i < 8; i++ {
+		if fout.Data[i] != float32(i) {
+			t.Fatalf("flatten = %v", fout.Data)
+		}
+	}
+}
+
+func TestRegionComputeMatchesFull(t *testing.T) {
+	// Computing an output in two region halves equals computing it all
+	// at once, for a conv with halo-requiring geometry.
+	in := NewTensor(2, 3, 8, 8)
+	in.PseudoRandomFill(1)
+	w := NewTensor(4, 3, 3, 3)
+	w.PseudoRandomFill(2)
+	b := NewTensor(4)
+	b.PseudoRandomFill(3)
+
+	full := NewTensor(2, 4, 8, 8)
+	Conv2D(full, in, w, b, out2DRegion(full), 1, 1, 1, 1)
+
+	parts := NewTensor(2, 4, 8, 8)
+	top := reg(tensor.Interval{Lo: 0, Hi: 2}, tensor.Interval{Lo: 0, Hi: 4}, tensor.Interval{Lo: 0, Hi: 4}, tensor.Interval{Lo: 0, Hi: 8})
+	bot := reg(tensor.Interval{Lo: 0, Hi: 2}, tensor.Interval{Lo: 0, Hi: 4}, tensor.Interval{Lo: 4, Hi: 8}, tensor.Interval{Lo: 0, Hi: 8})
+	Conv2D(parts, in, w, b, top, 1, 1, 1, 1)
+	Conv2D(parts, in, w, b, bot, 1, 1, 1, 1)
+	if !parts.Equal(full, 0) {
+		t.Fatal("region-wise conv differs from full conv")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := NewTensor(3)
+	b := NewTensor(3)
+	b.Data[1] = 0.5
+	if d := a.MaxAbsDiff(b); d != 0.5 {
+		t.Fatalf("MaxAbsDiff = %v", d)
+	}
+}

@@ -1,0 +1,186 @@
+// Package models builds the operator graphs of the paper's benchmark
+// DNNs (Table 3): AlexNet, Inception-v3 and ResNet-101 (CNNs); RNNTC,
+// RNNLM and NMT (RNNs); plus LeNet for the optimality study of Section
+// 8.4. Graph structures follow the reference architectures; activations
+// and batch norm are treated as fused into the preceding op (they are
+// memory-bound epsilon terms the paper's operator-level analysis also
+// folds away), so op counts track the papers' "layer" counts.
+package models
+
+import (
+	"fmt"
+
+	"flexflow/internal/graph"
+)
+
+// AlexNet builds the 12-layer CNN of Krizhevsky et al. [28] on
+// 227x227x3 inputs. The paper benchmarks it with batch size 256 on
+// synthetic data.
+func AlexNet(batch int) *graph.Graph {
+	g := graph.New("alexnet")
+	x := g.Input4D("images", batch, 3, 227, 227)
+	c1 := g.Conv2D("conv1", x, 96, 11, 11, 4, 4, 0, 0)
+	p1 := g.Pool2D("pool1", c1, 3, 3, 2, 2, 0, 0)
+	c2 := g.Conv2D("conv2", p1, 256, 5, 5, 1, 1, 2, 2)
+	p2 := g.Pool2D("pool2", c2, 3, 3, 2, 2, 0, 0)
+	c3 := g.Conv2D("conv3", p2, 384, 3, 3, 1, 1, 1, 1)
+	c4 := g.Conv2D("conv4", c3, 384, 3, 3, 1, 1, 1, 1)
+	c5 := g.Conv2D("conv5", c4, 256, 3, 3, 1, 1, 1, 1)
+	p5 := g.Pool2D("pool5", c5, 3, 3, 2, 2, 0, 0)
+	f := g.Flatten("flatten", p5)
+	fc6 := g.Dense("fc6", f, 4096)
+	fc7 := g.Dense("fc7", fc6, 4096)
+	g.SoftmaxClassifier("fc8", fc7, 1000)
+	return g
+}
+
+// LeNet builds the 6-layer CNN of LeCun [30] on 32x32x1 inputs, used in
+// the global-optimality study (Section 8.4).
+func LeNet(batch int) *graph.Graph {
+	g := graph.New("lenet")
+	x := g.Input4D("images", batch, 1, 32, 32)
+	c1 := g.Conv2D("conv1", x, 6, 5, 5, 1, 1, 0, 0)
+	p1 := g.Pool2D("pool1", c1, 2, 2, 2, 2, 0, 0)
+	c2 := g.Conv2D("conv2", p1, 16, 5, 5, 1, 1, 0, 0)
+	p2 := g.Pool2D("pool2", c2, 2, 2, 2, 2, 0, 0)
+	f := g.Flatten("flatten", p2)
+	fc1 := g.Dense("fc1", f, 120)
+	fc2 := g.Dense("fc2", fc1, 84)
+	g.SoftmaxClassifier("fc3", fc2, 10)
+	return g
+}
+
+// Inception3 builds Inception-v3 [40] (the 102-layer CNN of Table 3) on
+// 299x299x3 inputs: the standard stem, three InceptionA modules, a
+// grid-reduction InceptionB, four InceptionC modules, a grid-reduction
+// InceptionD and two InceptionE modules, followed by global pooling and
+// the classifier.
+func Inception3(batch int) *graph.Graph {
+	g := graph.New("inception-v3")
+	x := g.Input4D("images", batch, 3, 299, 299)
+
+	conv := func(name string, in *graph.Op, out, kh, kw, sh, sw, ph, pw int) *graph.Op {
+		return g.Conv2D(name, in, out, kh, kw, sh, sw, ph, pw)
+	}
+	// Stem: 299 -> 35x35x192.
+	c := conv("stem/conv0", x, 32, 3, 3, 2, 2, 0, 0)
+	c = conv("stem/conv1", c, 32, 3, 3, 1, 1, 0, 0)
+	c = conv("stem/conv2", c, 64, 3, 3, 1, 1, 1, 1)
+	c = g.Pool2D("stem/pool0", c, 3, 3, 2, 2, 0, 0)
+	c = conv("stem/conv3", c, 80, 1, 1, 1, 1, 0, 0)
+	c = conv("stem/conv4", c, 192, 3, 3, 1, 1, 0, 0)
+	c = g.Pool2D("stem/pool1", c, 3, 3, 2, 2, 0, 0)
+
+	inceptionA := func(name string, in *graph.Op, poolFeatures int) *graph.Op {
+		b1 := conv(name+"/1x1", in, 64, 1, 1, 1, 1, 0, 0)
+		b5 := conv(name+"/5x5a", in, 48, 1, 1, 1, 1, 0, 0)
+		b5 = conv(name+"/5x5b", b5, 64, 5, 5, 1, 1, 2, 2)
+		b3 := conv(name+"/3x3a", in, 64, 1, 1, 1, 1, 0, 0)
+		b3 = conv(name+"/3x3b", b3, 96, 3, 3, 1, 1, 1, 1)
+		b3 = conv(name+"/3x3c", b3, 96, 3, 3, 1, 1, 1, 1)
+		bp := g.Pool2D(name+"/pool", in, 3, 3, 1, 1, 1, 1)
+		bp = conv(name+"/poolproj", bp, poolFeatures, 1, 1, 1, 1, 0, 0)
+		return g.ConcatChannels(name+"/concat", b1, b5, b3, bp)
+	}
+	c = inceptionA("mixedA0", c, 32)
+	c = inceptionA("mixedA1", c, 64)
+	c = inceptionA("mixedA2", c, 64)
+
+	// InceptionB: 35 -> 17.
+	{
+		b3 := conv("mixedB/3x3", c, 384, 3, 3, 2, 2, 0, 0)
+		bd := conv("mixedB/dbl_a", c, 64, 1, 1, 1, 1, 0, 0)
+		bd = conv("mixedB/dbl_b", bd, 96, 3, 3, 1, 1, 1, 1)
+		bd = conv("mixedB/dbl_c", bd, 96, 3, 3, 2, 2, 0, 0)
+		bp := g.Pool2D("mixedB/pool", c, 3, 3, 2, 2, 0, 0)
+		c = g.ConcatChannels("mixedB/concat", b3, bd, bp)
+	}
+
+	inceptionC := func(name string, in *graph.Op, c7 int) *graph.Op {
+		b1 := conv(name+"/1x1", in, 192, 1, 1, 1, 1, 0, 0)
+		b7 := conv(name+"/7x7a", in, c7, 1, 1, 1, 1, 0, 0)
+		b7 = conv(name+"/7x7b", b7, c7, 1, 7, 1, 1, 0, 3)
+		b7 = conv(name+"/7x7c", b7, 192, 7, 1, 1, 1, 3, 0)
+		bd := conv(name+"/dbl_a", in, c7, 1, 1, 1, 1, 0, 0)
+		bd = conv(name+"/dbl_b", bd, c7, 7, 1, 1, 1, 3, 0)
+		bd = conv(name+"/dbl_c", bd, c7, 1, 7, 1, 1, 0, 3)
+		bd = conv(name+"/dbl_d", bd, c7, 7, 1, 1, 1, 3, 0)
+		bd = conv(name+"/dbl_e", bd, 192, 1, 7, 1, 1, 0, 3)
+		bp := g.Pool2D(name+"/pool", in, 3, 3, 1, 1, 1, 1)
+		bp = conv(name+"/poolproj", bp, 192, 1, 1, 1, 1, 0, 0)
+		return g.ConcatChannels(name+"/concat", b1, b7, bd, bp)
+	}
+	c = inceptionC("mixedC0", c, 128)
+	c = inceptionC("mixedC1", c, 160)
+	c = inceptionC("mixedC2", c, 160)
+	c = inceptionC("mixedC3", c, 192)
+
+	// InceptionD: 17 -> 8.
+	{
+		b3 := conv("mixedD/3x3a", c, 192, 1, 1, 1, 1, 0, 0)
+		b3 = conv("mixedD/3x3b", b3, 320, 3, 3, 2, 2, 0, 0)
+		b7 := conv("mixedD/7x7a", c, 192, 1, 1, 1, 1, 0, 0)
+		b7 = conv("mixedD/7x7b", b7, 192, 1, 7, 1, 1, 0, 3)
+		b7 = conv("mixedD/7x7c", b7, 192, 7, 1, 1, 1, 3, 0)
+		b7 = conv("mixedD/7x7d", b7, 192, 3, 3, 2, 2, 0, 0)
+		bp := g.Pool2D("mixedD/pool", c, 3, 3, 2, 2, 0, 0)
+		c = g.ConcatChannels("mixedD/concat", b3, b7, bp)
+	}
+
+	inceptionE := func(name string, in *graph.Op) *graph.Op {
+		b1 := conv(name+"/1x1", in, 320, 1, 1, 1, 1, 0, 0)
+		b3 := conv(name+"/3x3a", in, 384, 1, 1, 1, 1, 0, 0)
+		b3a := conv(name+"/3x3b1", b3, 384, 1, 3, 1, 1, 0, 1)
+		b3b := conv(name+"/3x3b2", b3, 384, 3, 1, 1, 1, 1, 0)
+		bd := conv(name+"/dbl_a", in, 448, 1, 1, 1, 1, 0, 0)
+		bd = conv(name+"/dbl_b", bd, 384, 3, 3, 1, 1, 1, 1)
+		bda := conv(name+"/dbl_c1", bd, 384, 1, 3, 1, 1, 0, 1)
+		bdb := conv(name+"/dbl_c2", bd, 384, 3, 1, 1, 1, 1, 0)
+		bp := g.Pool2D(name+"/pool", in, 3, 3, 1, 1, 1, 1)
+		bp = conv(name+"/poolproj", bp, 192, 1, 1, 1, 1, 0, 0)
+		return g.ConcatChannels(name+"/concat", b1, b3a, b3b, bda, bdb, bp)
+	}
+	c = inceptionE("mixedE0", c)
+	c = inceptionE("mixedE1", c)
+
+	p := g.Pool2D("avgpool", c, 8, 8, 1, 1, 0, 0)
+	f := g.Flatten("flatten", p)
+	g.SoftmaxClassifier("fc", f, 1000)
+	return g
+}
+
+// ResNet101 builds the 101-layer residual CNN of He et al. [22] on
+// 224x224x3 inputs: bottleneck stages of depth [3, 4, 23, 3].
+func ResNet101(batch int) *graph.Graph {
+	g := graph.New("resnet-101")
+	x := g.Input4D("images", batch, 3, 224, 224)
+	c := g.Conv2D("conv1", x, 64, 7, 7, 2, 2, 3, 3)
+	c = g.Pool2D("pool1", c, 3, 3, 2, 2, 1, 1)
+
+	bottleneck := func(name string, in *graph.Op, mid, out, stride int) *graph.Op {
+		a := g.Conv2D(name+"/a", in, mid, 1, 1, 1, 1, 0, 0)
+		b := g.Conv2D(name+"/b", a, mid, 3, 3, stride, stride, 1, 1)
+		cc := g.Conv2D(name+"/c", b, out, 1, 1, 1, 1, 0, 0)
+		shortcut := in
+		if in.Out.Size(1) != out || stride != 1 {
+			shortcut = g.Conv2D(name+"/proj", in, out, 1, 1, stride, stride, 0, 0)
+		}
+		return g.Add(name+"/add", cc, shortcut)
+	}
+	stage := func(prefix string, in *graph.Op, blocks, mid, out, firstStride int) *graph.Op {
+		c := bottleneck(fmt.Sprintf("%s/block0", prefix), in, mid, out, firstStride)
+		for i := 1; i < blocks; i++ {
+			c = bottleneck(fmt.Sprintf("%s/block%d", prefix, i), c, mid, out, 1)
+		}
+		return c
+	}
+	c = stage("stage1", c, 3, 64, 256, 1)
+	c = stage("stage2", c, 4, 128, 512, 2)
+	c = stage("stage3", c, 23, 256, 1024, 2)
+	c = stage("stage4", c, 3, 512, 2048, 2)
+
+	p := g.Pool2D("avgpool", c, 7, 7, 1, 1, 0, 0)
+	f := g.Flatten("flatten", p)
+	g.SoftmaxClassifier("fc", f, 1000)
+	return g
+}

@@ -1,0 +1,256 @@
+package models
+
+import (
+	"testing"
+
+	"flexflow/internal/config"
+	"flexflow/internal/device"
+	"flexflow/internal/graph"
+)
+
+func TestAllModelsValidate(t *testing.T) {
+	for _, name := range Names() {
+		spec, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := spec.BuildScaled(8)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.NumOps() < 5 {
+			t.Fatalf("%s: suspiciously few ops (%d)", name, g.NumOps())
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("vgg-19"); err == nil {
+		t.Fatal("unknown model did not error")
+	}
+}
+
+func TestBenchmarksOrder(t *testing.T) {
+	b := Benchmarks()
+	if len(b) != 6 {
+		t.Fatalf("benchmarks = %d", len(b))
+	}
+	if b[0].Name != "alexnet" || b[5].Name != "nmt" {
+		t.Fatalf("order = %v, %v", b[0].Name, b[5].Name)
+	}
+}
+
+func TestAlexNetStructure(t *testing.T) {
+	g := AlexNet(256)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 12 layers: 5 conv + 3 pool + 3 fc/softmax + flatten (helper).
+	convs, pools, dense := 0, 0, 0
+	for _, op := range g.Ops {
+		switch op.Kind {
+		case graph.Conv2D:
+			convs++
+		case graph.Pool2D:
+			pools++
+		case graph.MatMul, graph.Softmax:
+			dense++
+		}
+	}
+	if convs != 5 || pools != 3 || dense != 3 {
+		t.Fatalf("alexnet structure: %d convs, %d pools, %d dense", convs, pools, dense)
+	}
+	// ~61M parameters.
+	w := g.TotalWeights()
+	if w < 55e6 || w > 70e6 {
+		t.Fatalf("alexnet weights = %d, want ~61M", w)
+	}
+	// The batch dim flows through.
+	if g.Ops[len(g.Ops)-1].Out.Size(0) != 256 {
+		t.Fatal("batch size lost")
+	}
+}
+
+func TestInception3Structure(t *testing.T) {
+	g := Inception3(64)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	convs := 0
+	for _, op := range g.Ops {
+		if op.Kind == graph.Conv2D {
+			convs++
+		}
+	}
+	// Reference Inception-v3 has 94 conv layers (we omit the aux head).
+	if convs < 85 || convs > 100 {
+		t.Fatalf("inception convs = %d, want ~94", convs)
+	}
+	// ~24M parameters (no aux head).
+	w := g.TotalWeights()
+	if w < 20e6 || w > 30e6 {
+		t.Fatalf("inception weights = %d, want ~24M", w)
+	}
+	if g.IsLinear() {
+		t.Fatal("inception should be non-linear")
+	}
+	// Final classifier over 1000 classes.
+	last := g.Ops[len(g.Ops)-1]
+	if last.Kind != graph.Softmax || last.Out.Size(1) != 1000 {
+		t.Fatalf("classifier = %v", last)
+	}
+}
+
+func TestResNet101Structure(t *testing.T) {
+	g := ResNet101(64)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	convs, adds := 0, 0
+	for _, op := range g.Ops {
+		switch op.Kind {
+		case graph.Conv2D:
+			convs++
+		case graph.Add:
+			adds++
+		}
+	}
+	// 1 stem + 33 blocks x 3 + 4 projections = 104 convs; 33 residual adds.
+	if convs != 104 {
+		t.Fatalf("resnet convs = %d, want 104", convs)
+	}
+	if adds != 33 {
+		t.Fatalf("resnet adds = %d, want 33", adds)
+	}
+	// ~44M parameters.
+	w := g.TotalWeights()
+	if w < 40e6 || w > 50e6 {
+		t.Fatalf("resnet weights = %d, want ~44M", w)
+	}
+}
+
+func TestRNNTCStructure(t *testing.T) {
+	g := RNNTC(64, 40)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	lstms, softmaxes := 0, 0
+	for _, op := range g.Ops {
+		switch op.Kind {
+		case graph.LSTM:
+			lstms++
+		case graph.Softmax:
+			softmaxes++
+		}
+	}
+	if lstms != 4*40 {
+		t.Fatalf("rnntc lstm steps = %d, want 160", lstms)
+	}
+	if softmaxes != 1 {
+		t.Fatalf("rnntc softmaxes = %d, want 1 (classification)", softmaxes)
+	}
+}
+
+func TestRNNLMStructure(t *testing.T) {
+	g := RNNLM(64, 40)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	lstms, softmaxes := 0, 0
+	for _, op := range g.Ops {
+		switch op.Kind {
+		case graph.LSTM:
+			lstms++
+		case graph.Softmax:
+			softmaxes++
+		}
+	}
+	if lstms != 2*40 {
+		t.Fatalf("rnnlm lstm steps = %d", lstms)
+	}
+	if softmaxes != 40 {
+		t.Fatalf("rnnlm softmaxes = %d, want one per step", softmaxes)
+	}
+}
+
+func TestNMTStructure(t *testing.T) {
+	g := NMT(64, 40)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	lstms, attns, softmaxes, embeds := 0, 0, 0, 0
+	for _, op := range g.Ops {
+		switch op.Kind {
+		case graph.LSTM:
+			lstms++
+		case graph.Attention:
+			attns++
+		case graph.Softmax:
+			softmaxes++
+		case graph.Embedding:
+			embeds++
+		}
+	}
+	if lstms != 4*40 { // 2 encoder + 2 decoder layers
+		t.Fatalf("nmt lstm steps = %d", lstms)
+	}
+	if attns != 40 || softmaxes != 40 || embeds != 2 {
+		t.Fatalf("nmt: %d attention, %d softmax, %d embed", attns, softmaxes, embeds)
+	}
+	// The softmax layer dominates parameters (the Figure 14 discussion).
+	var smWeights int64
+	for _, op := range g.Ops {
+		if op.Kind == graph.Softmax {
+			smWeights += op.WeightElems
+			break // weights are shared across steps in spirit; count one
+		}
+	}
+	if smWeights < 30e6 {
+		t.Fatalf("nmt softmax weights = %d, want ~33.5M", smWeights)
+	}
+}
+
+func TestLayerAnnotationsForExpertPlacement(t *testing.T) {
+	g := NMT(8, 4)
+	topo := device.NewP100Cluster(2)
+	s := config.Expert(g, topo)
+	if err := s.Validate(g, topo); err != nil {
+		t.Fatalf("expert strategy on NMT: %v", err)
+	}
+	// All LSTM ops must carry layer annotations.
+	for _, op := range g.Ops {
+		if op.Kind == graph.LSTM && op.Layer < 0 {
+			t.Fatalf("op %q missing layer annotation", op.Name)
+		}
+	}
+}
+
+func TestBuildScaledFloors(t *testing.T) {
+	spec, _ := Get("nmt")
+	g := spec.BuildScaled(1000)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Batch floored at 4, steps at 2.
+	if g.Ops[0].Out.Size(0) != 4 || g.Ops[0].Out.Size(1) != 2 {
+		t.Fatalf("scaled input = %v", g.Ops[0].Out)
+	}
+	if spec.BuildScaled(0).NumOps() != spec.BuildPaper().NumOps() {
+		t.Fatal("factor 0 should behave like factor 1")
+	}
+}
+
+func TestPaperSettings(t *testing.T) {
+	for _, spec := range Benchmarks() {
+		if spec.Name == "alexnet" {
+			if spec.PaperBatch != 256 {
+				t.Fatal("alexnet paper batch should be 256")
+			}
+		} else if spec.PaperBatch != 64 {
+			t.Fatalf("%s paper batch = %d", spec.Name, spec.PaperBatch)
+		}
+		if spec.Recurrent && spec.PaperSteps != 40 {
+			t.Fatalf("%s paper steps = %d", spec.Name, spec.PaperSteps)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package models
+
+import (
+	"fmt"
+	"sort"
+
+	"flexflow/internal/graph"
+)
+
+// Spec describes a benchmark model and how the paper evaluates it.
+type Spec struct {
+	Name string
+	// Build constructs the graph at the given batch size; recurrent
+	// models also take the unroll step count (ignored by CNNs).
+	Build func(batch, steps int) *graph.Graph
+	// PaperBatch and PaperSteps are the evaluation settings of Section
+	// 8.1: batch 64 for everything except AlexNet (256), 40 unroll steps.
+	PaperBatch, PaperSteps int
+	// Recurrent marks the RNN benchmarks.
+	Recurrent bool
+}
+
+// registry holds the six paper benchmarks plus LeNet.
+var registry = map[string]Spec{
+	"alexnet": {
+		Name:       "alexnet",
+		Build:      func(b, _ int) *graph.Graph { return AlexNet(b) },
+		PaperBatch: 256,
+	},
+	"inception-v3": {
+		Name:       "inception-v3",
+		Build:      func(b, _ int) *graph.Graph { return Inception3(b) },
+		PaperBatch: 64,
+	},
+	"resnet-101": {
+		Name:       "resnet-101",
+		Build:      func(b, _ int) *graph.Graph { return ResNet101(b) },
+		PaperBatch: 64,
+	},
+	"rnntc": {
+		Name:       "rnntc",
+		Build:      RNNTC,
+		PaperBatch: 64, PaperSteps: 40, Recurrent: true,
+	},
+	"rnnlm": {
+		Name:       "rnnlm",
+		Build:      RNNLM,
+		PaperBatch: 64, PaperSteps: 40, Recurrent: true,
+	},
+	"nmt": {
+		Name:       "nmt",
+		Build:      NMT,
+		PaperBatch: 64, PaperSteps: 40, Recurrent: true,
+	},
+	"lenet": {
+		Name:       "lenet",
+		Build:      func(b, _ int) *graph.Graph { return LeNet(b) },
+		PaperBatch: 64,
+	},
+}
+
+// Get returns the spec for a model name.
+func Get(name string) (Spec, error) {
+	s, ok := registry[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("models: unknown model %q (have %v)", name, Names())
+	}
+	return s, nil
+}
+
+// Names lists the registered model names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Benchmarks returns the six models of Table 3 in the paper's order.
+func Benchmarks() []Spec {
+	var out []Spec
+	for _, n := range []string{"alexnet", "inception-v3", "resnet-101", "rnntc", "rnnlm", "nmt"} {
+		s, _ := Get(n)
+		out = append(out, s)
+	}
+	return out
+}
+
+// BuildPaper constructs a model at its paper evaluation settings.
+func (s Spec) BuildPaper() *graph.Graph { return s.Build(s.PaperBatch, s.PaperSteps) }
+
+// BuildScaled constructs a reduced-size instance (for tests and quick
+// benchmarks): batch and steps divided by the given factor, floored at
+// small sane minimums.
+func (s Spec) BuildScaled(factor int) *graph.Graph {
+	if factor < 1 {
+		factor = 1
+	}
+	b := s.PaperBatch / factor
+	if b < 4 {
+		b = 4
+	}
+	st := s.PaperSteps / factor
+	if s.Recurrent && st < 2 {
+		st = 2
+	}
+	return s.Build(b, st)
+}

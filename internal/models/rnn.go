@@ -1,0 +1,101 @@
+package models
+
+import (
+	"fmt"
+
+	"flexflow/internal/graph"
+)
+
+// lstmStack unrolls numLayers LSTM layers over the steps of a sequence
+// input, annotating each op with its layer index for expert-designed
+// placement. It returns the per-step outputs of the top layer.
+func lstmStack(g *graph.Graph, prefix string, seq *graph.Op, numLayers, steps, hidden, baseLayer int) []*graph.Op {
+	cur := make([]*graph.Op, steps)
+	for l := 0; l < numLayers; l++ {
+		var prev *graph.Op
+		for s := 0; s < steps; s++ {
+			in := seq
+			if l > 0 {
+				in = cur[s]
+			}
+			op := g.LSTMStep(fmt.Sprintf("%s/lstm%d.t%d", prefix, l, s), in, prev, s, hidden)
+			op.Layer = baseLayer + l
+			prev = op
+			cur[s] = op
+		}
+	}
+	return cur
+}
+
+// RNNTC builds the text-classification RNN of Table 3: an embedding
+// layer, four LSTM layers with hidden size 1024, and a softmax layer on
+// the final step (Movie Reviews has two classes).
+func RNNTC(batch, steps int) *graph.Graph {
+	const (
+		vocab  = 10000
+		embed  = 1024
+		hidden = 1024
+	)
+	g := graph.New("rnntc")
+	ids := g.InputSeq("tokens", batch, steps)
+	e := g.Embedding("embed", ids, vocab, embed)
+	e.Layer = 0
+	top := lstmStack(g, "rnn", e, 4, steps, hidden, 1)
+	sm := g.SoftmaxClassifier("softmax", top[steps-1], 2)
+	sm.Layer = 5
+	return g
+}
+
+// RNNLM builds the language model of Zaremba et al. [43]: two LSTM
+// layers with hidden size 2048 over the Penn Treebank vocabulary, with a
+// softmax classifier at every unrolled step.
+func RNNLM(batch, steps int) *graph.Graph {
+	const (
+		vocab  = 10000
+		embed  = 2048
+		hidden = 2048
+	)
+	g := graph.New("rnnlm")
+	ids := g.InputSeq("tokens", batch, steps)
+	e := g.Embedding("embed", ids, vocab, embed)
+	e.Layer = 0
+	top := lstmStack(g, "rnn", e, 2, steps, hidden, 1)
+	for s, h := range top {
+		sm := g.SoftmaxClassifier(fmt.Sprintf("softmax.t%d", s), h, vocab)
+		sm.Layer = 3
+	}
+	return g
+}
+
+// NMT builds the neural machine translation model of Table 3 and Figure
+// 14: source and target embeddings, a 2-layer LSTM encoder, a 2-layer
+// LSTM decoder, an attention layer over the encoder states on top of the
+// last decoder layer, and a per-step softmax over the target vocabulary.
+func NMT(batch, steps int) *graph.Graph {
+	const (
+		vocab  = 32768
+		embed  = 1024
+		hidden = 1024
+	)
+	g := graph.New("nmt")
+	src := g.InputSeq("src-tokens", batch, steps)
+	tgt := g.InputSeq("tgt-tokens", batch, steps)
+
+	se := g.Embedding("enc/embed", src, vocab, embed)
+	se.Layer = 0
+	encTop := lstmStack(g, "enc", se, 2, steps, hidden, 1)
+	memory := g.StackSteps("enc/states", encTop...)
+	memory.Layer = 2
+
+	te := g.Embedding("dec/embed", tgt, vocab, embed)
+	te.Layer = 0
+	decTop := lstmStack(g, "dec", te, 2, steps, hidden, 1)
+
+	for s, h := range decTop {
+		attn := g.AttentionStep(fmt.Sprintf("attention.t%d", s), h, memory)
+		attn.Layer = 3
+		sm := g.SoftmaxClassifier(fmt.Sprintf("softmax.t%d", s), attn, vocab)
+		sm.Layer = 3
+	}
+	return g
+}

@@ -1,0 +1,140 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"flexflow/internal/config"
+	"flexflow/internal/device"
+	"flexflow/internal/graph"
+	"flexflow/internal/perfmodel"
+	"flexflow/internal/sim"
+	"flexflow/internal/taskgraph"
+)
+
+func buildTG(t *testing.T) *taskgraph.TaskGraph {
+	t.Helper()
+	g := graph.New("cnn")
+	x := g.Input4D("x", 32, 16, 32, 32)
+	c := g.Conv2D("c1", x, 32, 3, 3, 1, 1, 1, 1)
+	p := g.Pool2D("p1", c, 2, 2, 2, 2, 0, 0)
+	f := g.Flatten("f", p)
+	g.Dense("fc", f, 128)
+	topo := device.NewSingleNode(4, "P100")
+	return taskgraph.Build(g, topo, config.DataParallel(g, topo), perfmodel.NewAnalyticModel(), taskgraph.Options{})
+}
+
+func TestExecuteRunsAllTasks(t *testing.T) {
+	tg := buildTG(t)
+	r := Execute(tg, DefaultOptions(1))
+	if r.TasksRun != tg.Alive() {
+		t.Fatalf("ran %d of %d tasks", r.TasksRun, tg.Alive())
+	}
+	if r.Makespan <= 0 {
+		t.Fatalf("makespan = %v", r.Makespan)
+	}
+	if len(r.BusyTime) != tg.Topo.NumDevices()+len(tg.Topo.Links) {
+		t.Fatalf("busy slots = %d", len(r.BusyTime))
+	}
+}
+
+func TestExecuteDeterministicPerSeed(t *testing.T) {
+	tg := buildTG(t)
+	a := Execute(tg, DefaultOptions(42))
+	b := Execute(tg, DefaultOptions(42))
+	if a.Makespan != b.Makespan {
+		t.Fatalf("same seed, different makespans: %v vs %v", a.Makespan, b.Makespan)
+	}
+	c := Execute(tg, DefaultOptions(43))
+	if c.Makespan == a.Makespan {
+		t.Fatal("different seeds should perturb the makespan")
+	}
+}
+
+func TestExecuteSlowerThanIdealSimulation(t *testing.T) {
+	// With dispatch overhead and bandwidth inefficiency, the emulated
+	// hardware must be slower than the idealized simulator (A2/A4 say
+	// the simulator underestimates).
+	tg := buildTG(t)
+	simulated := sim.NewState(tg).Simulate()
+	real := Execute(tg, Options{Seed: 1, DispatchOverhead: 10 * time.Microsecond, BandwidthEfficiency: 0.8})
+	if real.Makespan <= simulated {
+		t.Fatalf("emulated time %v not above simulated %v", real.Makespan, simulated)
+	}
+}
+
+func TestExecuteNoOverheadMatchesSimulator(t *testing.T) {
+	// With all divergence knobs off, the emulator and the simulator
+	// implement the same FIFO semantics and must agree exactly.
+	tg := buildTG(t)
+	simulated := sim.NewState(tg).Simulate()
+	real := Execute(tg, Options{Seed: 1})
+	if real.Makespan != simulated {
+		t.Fatalf("no-noise emulation %v != simulation %v", real.Makespan, simulated)
+	}
+}
+
+func TestSimulatorWithin30PercentOfEmulation(t *testing.T) {
+	// The Figure 11 claim at unit scale: for the default emulator
+	// settings, the relative difference between simulated and "real"
+	// time stays under 30%.
+	tg := buildTG(t)
+	simulated := sim.NewState(tg).Simulate()
+	mean, _ := Measure(tg, DefaultOptions(7), 5)
+	rel := float64(mean-simulated) / float64(mean)
+	if rel < 0 {
+		rel = -rel
+	}
+	if rel > 0.30 {
+		t.Fatalf("simulator off by %.1f%% (sim %v, real %v)", rel*100, simulated, mean)
+	}
+}
+
+func TestMeasureStatistics(t *testing.T) {
+	tg := buildTG(t)
+	mean, std := Measure(tg, DefaultOptions(3), 8)
+	if mean <= 0 {
+		t.Fatalf("mean = %v", mean)
+	}
+	if std <= 0 || std > mean/2 {
+		t.Fatalf("std = %v (mean %v)", std, mean)
+	}
+	// n < 1 behaves as a single run.
+	m1, s1 := Measure(tg, DefaultOptions(3), 0)
+	if m1 <= 0 || s1 != 0 {
+		t.Fatalf("single run: mean %v std %v", m1, s1)
+	}
+}
+
+func TestBandwidthEfficiencyDefaults(t *testing.T) {
+	tg := buildTG(t)
+	// Zero efficiency is treated as 1 (no scaling) rather than dividing
+	// by zero.
+	r := Execute(tg, Options{Seed: 1, BandwidthEfficiency: 0})
+	if r.Makespan <= 0 {
+		t.Fatal("zero-efficiency option mishandled")
+	}
+}
+
+func TestDependencyOrderInEmulation(t *testing.T) {
+	// Spot-check FIFO + dependency semantics with a handmade diamond.
+	topo := device.NewTopology("t")
+	d0 := topo.AddDevice(device.Device{Kind: device.GPU})
+	d1 := topo.AddDevice(device.Device{Kind: device.GPU})
+	topo.AddLink(device.NVLink, d0, d1, 10, 0)
+	u := time.Millisecond
+	a := &taskgraph.Task{Kind: taskgraph.Compute, Device: d0, Link: -1, Exe: u}
+	b := &taskgraph.Task{Kind: taskgraph.Compute, Device: d0, Link: -1, Exe: u}
+	c := &taskgraph.Task{Kind: taskgraph.Compute, Device: d1, Link: -1, Exe: u}
+	d := &taskgraph.Task{Kind: taskgraph.Compute, Device: d1, Link: -1, Exe: u}
+	taskgraph.Connect(a, b)
+	taskgraph.Connect(a, c)
+	taskgraph.Connect(b, d)
+	taskgraph.Connect(c, d)
+	tg := taskgraph.Manual(topo, []*taskgraph.Task{a, b, c, d})
+	r := Execute(tg, Options{Seed: 1})
+	// a then {b, c} in parallel then d: 3 ms.
+	if r.Makespan != 3*u {
+		t.Fatalf("diamond makespan = %v, want 3ms", r.Makespan)
+	}
+}

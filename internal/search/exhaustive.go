@@ -1,0 +1,166 @@
+package search
+
+import (
+	"time"
+
+	"flexflow/internal/config"
+	"flexflow/internal/device"
+	"flexflow/internal/graph"
+	"flexflow/internal/perfmodel"
+	"flexflow/internal/sim"
+	"flexflow/internal/taskgraph"
+)
+
+// ExhaustiveOptions bound the exhaustive optimality study (Section 8.4:
+// "we use depth-first search to explore the search space and use A* to
+// prune").
+type ExhaustiveOptions struct {
+	// Enum bounds the per-op candidate configurations.
+	Enum config.EnumOptions
+	// MaxCandidatesPerOp truncates each op's candidate list (0 = all).
+	MaxCandidatesPerOp int
+	// TaskOpts are forwarded to the task-graph builder.
+	TaskOpts taskgraph.Options
+}
+
+// ExhaustiveResult reports the global optimum found.
+type ExhaustiveResult struct {
+	Best      *config.Strategy
+	BestCost  time.Duration
+	Explored  int64 // leaves simulated
+	Pruned    int64 // subtrees cut by the admissible bound
+	SpaceSize float64
+}
+
+// Exhaustive enumerates strategies by depth-first search over per-op
+// candidate configurations, pruning with an admissible lower bound: in a
+// chain-structured graph every source-to-sink dependency path passes
+// through at least one task of each op, so the makespan is at least the
+// sum over ops of their fastest task's execution time. Prefix costs use
+// the chosen configs, remainder costs the per-op minimum.
+func Exhaustive(g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, opts ExhaustiveOptions) ExhaustiveResult {
+	ops := g.ComputeOps()
+	candidates := make([][]*config.Config, len(ops))
+	minTask := make([][]time.Duration, len(ops)) // min task exe per candidate
+	bestMin := make([]time.Duration, len(ops))   // min over candidates
+	space := 1.0
+	for i, op := range ops {
+		cands := config.Enumerate(op, topo, opts.Enum)
+		if opts.MaxCandidatesPerOp > 0 && len(cands) > opts.MaxCandidatesPerOp {
+			cands = cands[:opts.MaxCandidatesPerOp]
+		}
+		candidates[i] = cands
+		minTask[i] = make([]time.Duration, len(cands))
+		for j, c := range cands {
+			minTask[i][j] = minTaskTime(op, c, topo, est)
+			if j == 0 || minTask[i][j] < bestMin[i] {
+				bestMin[i] = minTask[i][j]
+			}
+		}
+		space *= float64(len(cands))
+	}
+	// Suffix sums of the per-op optimistic cost for the A*-style bound.
+	suffix := make([]time.Duration, len(ops)+1)
+	for i := len(ops) - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + bestMin[i]
+	}
+
+	res := ExhaustiveResult{SpaceSize: space, BestCost: 1<<62 - 1}
+	chosen := make([]int, len(ops))
+	strat := config.NewStrategy(g)
+
+	var dfs func(depth int, prefixLB time.Duration)
+	dfs = func(depth int, prefixLB time.Duration) {
+		if depth == len(ops) {
+			for i, op := range ops {
+				strat.Set(op.ID, candidates[i][chosen[i]])
+			}
+			tg := taskgraph.Build(g, topo, strat, est, opts.TaskOpts)
+			cost := sim.NewState(tg).Simulate()
+			res.Explored++
+			if cost < res.BestCost {
+				res.BestCost = cost
+				res.Best = strat.Clone()
+			}
+			return
+		}
+		for j := range candidates[depth] {
+			lb := prefixLB + minTask[depth][j] + suffix[depth+1]
+			if lb >= res.BestCost {
+				res.Pruned++
+				continue
+			}
+			chosen[depth] = j
+			dfs(depth+1, prefixLB+minTask[depth][j])
+		}
+	}
+	dfs(0, 0)
+	return res
+}
+
+// minTaskTime returns the fastest task's execution time under a config
+// (forward + backward), the per-op term of the admissible bound.
+func minTaskTime(op *graph.Op, c *config.Config, topo *device.Topology, est perfmodel.Estimator) time.Duration {
+	best := time.Duration(1<<62 - 1)
+	for k := 0; k < c.NumTasks(); k++ {
+		region := gridRegion(op, c, k)
+		dev := topo.Device(c.Devices[k])
+		d := est.ExecTime(op, region, dev, perfmodel.Forward) +
+			est.ExecTime(op, region, dev, perfmodel.Backward)
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Polish hill-climbs a strategy to a local optimum: repeatedly replace
+// the single-op configuration whose change improves the simulated time
+// the most, until no one-op change helps. The paper observes that all
+// strategies returned by its search were locally optimal (Section 8.4);
+// Polish makes that property structural for modest search budgets.
+func Polish(g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, s *config.Strategy, enum config.EnumOptions, taskOpts taskgraph.Options, maxRounds int) (*config.Strategy, time.Duration) {
+	if maxRounds <= 0 {
+		maxRounds = 20
+	}
+	cur := s.Clone()
+	tg := taskgraph.Build(g, topo, cur.Clone(), est, taskOpts)
+	st := sim.NewState(tg)
+	best := st.Simulate()
+	for round := 0; round < maxRounds; round++ {
+		cost, improving, _ := Neighborhood(g, topo, est, cur, enum, taskOpts)
+		if improving == nil || cost >= best {
+			break
+		}
+		cur, best = improving, cost
+	}
+	return cur, best
+}
+
+// Neighborhood enumerates all one-op deviations of a strategy (the
+// neighbour set of Section 8.4's local-optimality study) and reports the
+// best improving neighbour, if any.
+func Neighborhood(g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, s *config.Strategy, enum config.EnumOptions, taskOpts taskgraph.Options) (bestCost time.Duration, improving *config.Strategy, checked int) {
+	tg := taskgraph.Build(g, topo, s.Clone(), est, taskOpts)
+	st := sim.NewState(tg)
+	base := st.Simulate()
+	bestCost = base
+	for _, op := range g.ComputeOps() {
+		orig := tg.Strat.Config(op.ID).Clone()
+		for _, cand := range config.Enumerate(op, topo, enum) {
+			if cand.Equal(orig) {
+				continue
+			}
+			cs := tg.ReplaceConfig(op.ID, cand)
+			cost := st.ApplyDelta(cs)
+			checked++
+			if cost < bestCost {
+				bestCost = cost
+				improving = tg.Strat.Clone()
+			}
+			cs = tg.ReplaceConfig(op.ID, orig)
+			st.ApplyDelta(cs)
+		}
+	}
+	return bestCost, improving, checked
+}

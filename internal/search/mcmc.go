@@ -1,0 +1,309 @@
+// Package search implements the execution optimizer of Section 6 — a
+// Markov Chain Monte Carlo search over the SOAP space using the
+// execution simulator as its cost oracle — together with the baselines
+// the paper evaluates against: exhaustive DFS with admissible pruning
+// (Section 8.4), a local-optimality checker, the OptCNN dynamic program,
+// and a REINFORCE-style device-placement learner.
+package search
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"flexflow/internal/config"
+	"flexflow/internal/device"
+	"flexflow/internal/graph"
+	"flexflow/internal/memory"
+	"flexflow/internal/perfmodel"
+	"flexflow/internal/sim"
+	"flexflow/internal/taskgraph"
+	"flexflow/internal/tensor"
+)
+
+// Space restricts which output-dimension kinds proposals may partition —
+// the search-space ablation of DESIGN.md.
+type Space uint8
+
+const (
+	// SpaceSOAP is the full search space (the paper's contribution).
+	SpaceSOAP Space = iota
+	// SpaceSample only partitions the sample dimension (the space data
+	// parallelism lives in, plus device placement).
+	SpaceSample
+	// SpaceSampleParam adds parameter-dimension partitioning (OptCNN's
+	// space minus attribute dimensions, roughly).
+	SpaceSampleParam
+)
+
+func (s Space) allowed() map[tensor.DimKind]bool {
+	switch s {
+	case SpaceSample:
+		return map[tensor.DimKind]bool{tensor.Sample: true}
+	case SpaceSampleParam:
+		return map[tensor.DimKind]bool{tensor.Sample: true, tensor.Parameter: true}
+	default:
+		return nil
+	}
+}
+
+// Options configure the MCMC optimizer.
+type Options struct {
+	// Beta is the Metropolis-Hastings temperature constant of Eq. (1).
+	// The acceptance probability for a worse strategy is
+	// exp(-Beta * (cost* - cost)/cost), i.e. Beta is expressed in units
+	// of relative slowdown so one default works across models.
+	Beta float64
+	// MaxIters caps the number of proposals per initial strategy.
+	MaxIters int
+	// Budget caps wall-clock search time per initial strategy
+	// (0 = unlimited; MaxIters still applies).
+	Budget time.Duration
+	// Seed makes the search reproducible.
+	Seed int64
+	// FullSim makes every proposal run the full simulation algorithm of
+	// Section 5.2 — Algorithm 1 rebuilds the task graph from scratch
+	// (BUILDTASKGRAPH) and re-times every task — instead of the delta
+	// algorithm's incremental update. This is the Table 4 comparison.
+	FullSim bool
+	// Space restricts proposals (ablation).
+	Space Space
+	// TaskOpts are forwarded to the task-graph builder.
+	TaskOpts taskgraph.Options
+	// MemoryCheck rejects proposals whose per-device footprint (under
+	// MemoryModel) exceeds device capacity, mirroring the memory
+	// constraint the production FlexFlow runtime enforces.
+	MemoryCheck bool
+	// MemoryModel configures the footprint accounting when MemoryCheck
+	// is set (zero value = plain SGD training).
+	MemoryModel memory.Model
+}
+
+// DefaultOptions returns the configuration used by the experiments.
+func DefaultOptions() Options {
+	return Options{Beta: 15, MaxIters: 2000, Seed: 1}
+}
+
+// TracePoint records search progress for Figure 12.
+type TracePoint struct {
+	Iter     int
+	Elapsed  time.Duration
+	BestCost time.Duration
+}
+
+// Result is the outcome of a search.
+type Result struct {
+	Best     *config.Strategy
+	BestCost time.Duration
+	// Iters and Accepted count proposals and accepted proposals.
+	Iters, Accepted int
+	// SearchTime is the wall-clock time the optimizer ran for.
+	SearchTime time.Duration
+	Trace      []TracePoint
+	SimStats   sim.Stats
+}
+
+// MCMC explores the SOAP space from each initial strategy and returns
+// the best strategy discovered overall. Each chain ends when its
+// iteration or time budget is exhausted, or when it has not improved for
+// half of its elapsed search time (the paper's stopping criterion).
+func MCMC(g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, initials []*config.Strategy, opts Options) Result {
+	if opts.Beta == 0 {
+		opts.Beta = DefaultOptions().Beta
+	}
+	if opts.MaxIters == 0 {
+		opts.MaxIters = DefaultOptions().MaxIters
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	start := time.Now()
+	var best Result
+	for i, init := range initials {
+		r := runChain(g, topo, est, init, opts, rng, start)
+		if i == 0 {
+			best = r
+			continue
+		}
+		best.Trace = append(best.Trace, r.Trace...)
+		best.Iters += r.Iters
+		best.Accepted += r.Accepted
+		best.SimStats.Pops += r.SimStats.Pops
+		best.SimStats.FullSims += r.SimStats.FullSims
+		best.SimStats.DeltaSims += r.SimStats.DeltaSims
+		best.SimStats.Fallbacks += r.SimStats.Fallbacks
+		if r.BestCost < best.BestCost {
+			best.Best, best.BestCost = r.Best, r.BestCost
+		}
+	}
+	best.SearchTime = time.Since(start)
+	return best
+}
+
+func runChain(g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, init *config.Strategy, opts Options, rng *rand.Rand, globalStart time.Time) Result {
+	chainStart := time.Now()
+	cur := init.Clone()
+	// Delta mode keeps one task graph + timeline alive across proposals;
+	// full mode rebuilds per proposal, exactly as Algorithm 1 does
+	// (BUILDTASKGRAPH is its first step).
+	tg := taskgraph.Build(g, topo, cur.Clone(), est, opts.TaskOpts)
+	st := sim.NewState(tg)
+	cost := st.Simulate()
+
+	res := Result{
+		Best:     cur.Clone(),
+		BestCost: cost,
+		Trace:    []TracePoint{{Iter: 0, Elapsed: time.Since(globalStart), BestCost: cost}},
+	}
+	ops := g.ComputeOps()
+	allowed := opts.Space.allowed()
+	lastImprove := time.Now()
+
+	// Incremental memory accounting: running per-device totals plus
+	// per-op contributions, updated as proposals are accepted.
+	var memUsage []int64
+	var memCaps []int64
+	opMem := map[int]map[int]int64{}
+	if opts.MemoryCheck {
+		memUsage = make([]int64, topo.NumDevices())
+		memCaps = make([]int64, topo.NumDevices())
+		for id := 0; id < topo.NumDevices(); id++ {
+			if gb := topo.Device(id).MemGB; gb > 0 {
+				memCaps[id] = int64(gb * 1e9)
+			}
+		}
+		for _, op := range ops {
+			fp := memory.OpFootprint(op, cur.Config(op.ID), opts.MemoryModel)
+			opMem[op.ID] = fp
+			for dev, b := range fp {
+				memUsage[dev] += b
+			}
+		}
+	}
+	memFeasible := func(op *graph.Op, newFP map[int]int64) bool {
+		old := opMem[op.ID]
+		for dev, b := range newFP {
+			total := memUsage[dev] - old[dev] + b
+			if memCaps[dev] > 0 && total > memCaps[dev] {
+				return false
+			}
+		}
+		return true
+	}
+	memCommit := func(op *graph.Op, newFP map[int]int64) {
+		old := opMem[op.ID]
+		for dev, b := range old {
+			memUsage[dev] -= b
+		}
+		for dev, b := range newFP {
+			memUsage[dev] += b
+		}
+		opMem[op.ID] = newFP
+	}
+
+	for it := 1; it <= opts.MaxIters; it++ {
+		elapsed := time.Since(chainStart)
+		if opts.Budget > 0 && elapsed > opts.Budget {
+			break
+		}
+		// Criterion 2 of Section 6.2: stop when the best strategy has
+		// not improved for half of the search time. The criterion is
+		// defined relative to the time budget, so it only applies when
+		// one is set; iteration-budgeted runs (e.g. the Table 4 timing
+		// comparison) execute their full proposal count.
+		if opts.Budget > 0 {
+			if sinceImprove := time.Since(lastImprove); elapsed > 100*time.Millisecond && sinceImprove > elapsed/2 {
+				break
+			}
+		}
+
+		op := ops[rng.Intn(len(ops))]
+		oldCfg := cur.Config(op.ID).Clone()
+		newCfg := config.RandomConfigRestricted(op, topo, rng, allowed)
+		if newCfg.Equal(oldCfg) {
+			continue
+		}
+		var newFP map[int]int64
+		if opts.MemoryCheck {
+			newFP = memory.OpFootprint(op, newCfg, opts.MemoryModel)
+			if !memFeasible(op, newFP) {
+				continue // infeasible proposal: rejected outright
+			}
+		}
+
+		var newCost time.Duration
+		if opts.FullSim {
+			cur.Set(op.ID, newCfg)
+			full := taskgraph.Build(g, topo, cur.Clone(), est, opts.TaskOpts)
+			fullState := sim.NewState(full)
+			newCost = fullState.Simulate()
+			st.Stats.FullSims++
+			st.Stats.Pops += fullState.Stats.Pops
+		} else {
+			cs := tg.ReplaceConfig(op.ID, newCfg)
+			newCost = st.ApplyDelta(cs)
+			cur.Set(op.ID, newCfg)
+		}
+		res.Iters++
+
+		if accept(cost, newCost, opts.Beta, rng) {
+			cost = newCost
+			res.Accepted++
+			if opts.MemoryCheck {
+				memCommit(op, newFP)
+			}
+			if newCost < res.BestCost {
+				res.BestCost = newCost
+				res.Best = cur.Clone()
+				res.Trace = append(res.Trace, TracePoint{Iter: it, Elapsed: time.Since(globalStart), BestCost: newCost})
+				lastImprove = time.Now()
+			}
+		} else {
+			// Revert the proposal.
+			cur.Set(op.ID, oldCfg)
+			if !opts.FullSim {
+				cs := tg.ReplaceConfig(op.ID, oldCfg)
+				st.ApplyDelta(cs)
+			}
+		}
+	}
+	res.SimStats = st.Stats
+	res.SearchTime = time.Since(chainStart)
+	return res
+}
+
+// accept implements the Metropolis-Hastings criterion of Eq. (2) with a
+// relative cost difference: always accept improvements; accept a
+// regression of fraction f with probability exp(-beta*f).
+func accept(cur, proposed time.Duration, beta float64, rng *rand.Rand) bool {
+	if proposed <= cur {
+		return true
+	}
+	if cur <= 0 {
+		return false
+	}
+	f := float64(proposed-cur) / float64(cur)
+	return rng.Float64() < math.Exp(-beta*f)
+}
+
+// Initials returns the paper's default initial candidates: data
+// parallelism plus a randomly generated strategy (Section 8.1), and the
+// expert-designed strategy when includeExpert is set.
+func Initials(g *graph.Graph, topo *device.Topology, seed int64, includeExpert bool) []*config.Strategy {
+	rng := rand.New(rand.NewSource(seed))
+	out := []*config.Strategy{
+		config.DataParallel(g, topo),
+		config.Random(g, topo, rng),
+	}
+	if includeExpert {
+		out = append(out, config.Expert(g, topo))
+	}
+	return out
+}
+
+// Evaluate simulates a strategy and returns its predicted per-iteration
+// time plus the task-graph metrics.
+func Evaluate(g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, s *config.Strategy, opts taskgraph.Options) (time.Duration, taskgraph.Metrics) {
+	tg := taskgraph.Build(g, topo, s, est, opts)
+	st := sim.NewState(tg)
+	d := st.Simulate()
+	return d, tg.Metrics()
+}

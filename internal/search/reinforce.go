@@ -1,0 +1,139 @@
+package search
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"flexflow/internal/config"
+	"flexflow/internal/device"
+	"flexflow/internal/graph"
+	"flexflow/internal/perfmodel"
+	"flexflow/internal/sim"
+	"flexflow/internal/taskgraph"
+)
+
+// ReinforceOptions configure the REINFORCE device-placement baseline
+// (Mirhoseini et al. [33]): a policy-gradient learner over model-
+// parallel placements — one device per operation, no intra-op
+// parallelism, which is exactly the search space the paper credits it
+// with (Figure 1: parallelism dimension "O").
+type ReinforceOptions struct {
+	Episodes  int     // placement samples drawn
+	BatchSize int     // samples per gradient step
+	LR        float64 // policy learning rate
+	Seed      int64
+	TaskOpts  taskgraph.Options
+}
+
+// DefaultReinforceOptions mirror the small-scale settings of Section
+// 8.2.3 (four GPUs on a single node).
+func DefaultReinforceOptions() ReinforceOptions {
+	return ReinforceOptions{Episodes: 600, BatchSize: 10, LR: 0.15, Seed: 1}
+}
+
+// ReinforceResult reports the best placement the learner found.
+type ReinforceResult struct {
+	Best     *config.Strategy
+	BestCost time.Duration
+	Episodes int
+}
+
+// Reinforce learns a per-op softmax policy over devices with the
+// REINFORCE gradient (reward = negative simulated iteration time,
+// baseline = batch mean) and returns the best placement sampled. In the
+// paper this took 12-27 hours of real executions; with the simulator as
+// reward oracle it finishes in seconds, but the search space is
+// unchanged — which is why FlexFlow still beats it (Figure 10a).
+func Reinforce(g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, opts ReinforceOptions) ReinforceResult {
+	if opts.Episodes == 0 {
+		opts = DefaultReinforceOptions()
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	ops := g.ComputeOps()
+	gpus := topo.GPUs()
+	logits := make([][]float64, len(ops))
+	for i := range logits {
+		logits[i] = make([]float64, len(gpus))
+	}
+
+	type episode struct {
+		choice []int
+		reward float64
+	}
+	res := ReinforceResult{BestCost: 1<<62 - 1}
+	var batch []episode
+
+	for ep := 0; ep < opts.Episodes; ep++ {
+		choice := make([]int, len(ops))
+		s := config.NewStrategy(g)
+		for i, op := range ops {
+			choice[i] = sampleSoftmax(logits[i], rng)
+			s.Set(op.ID, config.OnDevice(op, gpus[choice[i]]))
+		}
+		tg := taskgraph.Build(g, topo, s, est, opts.TaskOpts)
+		cost := sim.NewState(tg).Simulate()
+		res.Episodes++
+		if cost < res.BestCost {
+			res.BestCost = cost
+			res.Best = s.Clone()
+		}
+		batch = append(batch, episode{choice: choice, reward: -cost.Seconds()})
+		if len(batch) < opts.BatchSize {
+			continue
+		}
+		// Policy-gradient step with the batch-mean baseline.
+		mean := 0.0
+		for _, e := range batch {
+			mean += e.reward
+		}
+		mean /= float64(len(batch))
+		for _, e := range batch {
+			adv := e.reward - mean
+			for i := range ops {
+				p := softmax(logits[i])
+				for d := range p {
+					grad := -p[d]
+					if d == e.choice[i] {
+						grad += 1
+					}
+					logits[i][d] += opts.LR * adv * grad
+				}
+			}
+		}
+		batch = batch[:0]
+	}
+	return res
+}
+
+func softmax(logits []float64) []float64 {
+	max := logits[0]
+	for _, l := range logits {
+		if l > max {
+			max = l
+		}
+	}
+	out := make([]float64, len(logits))
+	var sum float64
+	for i, l := range logits {
+		out[i] = math.Exp(l - max)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+func sampleSoftmax(logits []float64, rng *rand.Rand) int {
+	p := softmax(logits)
+	r := rng.Float64()
+	acc := 0.0
+	for i, pi := range p {
+		acc += pi
+		if r < acc {
+			return i
+		}
+	}
+	return len(p) - 1
+}

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"flexflow/internal/config"
+	"flexflow/internal/device"
+	"flexflow/internal/graph"
+	"flexflow/internal/perfmodel"
+	"flexflow/internal/taskgraph"
+)
+
+// Property: for random strategies on random machine sizes, the
+// simulated makespan respects both scheduling bounds, and total busy
+// time per resource never exceeds the makespan.
+func TestSimulationBoundsProperty(t *testing.T) {
+	g := smallCNN()
+	f := func(seed int64, gpuRaw uint8) bool {
+		gpus := int(gpuRaw%7) + 2
+		topo := device.NewSingleNode(gpus, "P100")
+		rng := rand.New(rand.NewSource(seed))
+		s := config.Random(g, topo, rng)
+		tg := taskgraph.Build(g, topo, s, perfmodel.NewAnalyticModel(), taskgraph.Options{})
+		st := NewState(tg)
+		makespan := st.Simulate()
+		if makespan < CriticalPathLowerBound(tg) {
+			t.Logf("below critical path")
+			return false
+		}
+		if makespan > SerialUpperBound(tg) {
+			t.Logf("above serial bound")
+			return false
+		}
+		for r := 0; r < topo.NumDevices()+len(topo.Links); r++ {
+			var busy time.Duration
+			for i, task := range st.Timeline(r) {
+				busy += task.Exe
+				if i > 0 && task.Start < st.Timeline(r)[i-1].End {
+					t.Logf("overlap on resource %d", r)
+					return false
+				}
+			}
+			if busy > makespan {
+				t.Logf("resource %d busy %v > makespan %v", r, busy, makespan)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: delta simulation equals full re-simulation of the same task
+// graph across random mutation sequences on an RNN-shaped graph with
+// attention fan-in (the hardest dependency structure we build).
+func TestDeltaEqualsFullProperty(t *testing.T) {
+	build := func() *graph.Graph {
+		g := graph.New("prop-rnn")
+		ids := g.InputSeq("tok", 8, 3)
+		emb := g.Embedding("emb", ids, 40, 12)
+		var prev *graph.Op
+		steps := make([]*graph.Op, 3)
+		for s := 0; s < 3; s++ {
+			prev = g.LSTMStep("l0", emb, prev, s, 16)
+			steps[s] = prev
+		}
+		stack := g.StackSteps("stack", steps...)
+		attn := g.AttentionStep("attn", steps[2], stack)
+		g.SoftmaxClassifier("sm", attn, 40)
+		return g
+	}
+	f := func(seed int64) bool {
+		g := build()
+		topo := device.NewSingleNode(3, "P100")
+		rng := rand.New(rand.NewSource(seed))
+		tg := taskgraph.Build(g, topo, config.DataParallel(g, topo), perfmodel.NewAnalyticModel(), taskgraph.Options{})
+		st := NewState(tg)
+		st.Simulate()
+		ops := g.ComputeOps()
+		for step := 0; step < 8; step++ {
+			op := ops[rng.Intn(len(ops))]
+			cs := tg.ReplaceConfig(op.ID, config.RandomConfig(op, topo, rng))
+			got := st.ApplyDelta(cs)
+			want := NewState(tg).Simulate()
+			if got != want {
+				t.Logf("seed %d step %d: delta %v != full %v", seed, step, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: adding parallelism never increases the critical-path lower
+// bound's violation — i.e. simulation remains internally consistent as
+// strategies vary from serial to maximally parallel.
+func TestMakespanMonotonicitySanity(t *testing.T) {
+	g := smallCNN()
+	topo := device.NewSingleNode(4, "P100")
+	// Serial strategy: everything on one device.
+	serial := config.NewStrategy(g)
+	for _, op := range g.ComputeOps() {
+		serial.Set(op.ID, config.OnDevice(op, 0))
+	}
+	tgSerial := taskgraph.Build(g, topo, serial, perfmodel.NewAnalyticModel(), taskgraph.Options{})
+	serialMakespan := NewState(tgSerial).Simulate()
+	// For the serial strategy (single resource, no comm), the makespan
+	// must equal the serial bound exactly.
+	if ub := SerialUpperBound(tgSerial); serialMakespan != ub {
+		t.Fatalf("serial strategy makespan %v != serial bound %v", serialMakespan, ub)
+	}
+}

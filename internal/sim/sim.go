@@ -1,0 +1,491 @@
+// Package sim implements the execution simulator of Section 5: given a
+// task graph it predicts the execution timeline of one training
+// iteration under the paper's assumptions (A1-A4): predictable task
+// times, fully-utilizable connection bandwidth, FIFO scheduling per
+// device, and negligible runtime overhead.
+//
+// Both simulation algorithms are provided:
+//
+//   - Simulate (the full algorithm, Section 5.2) builds the timeline
+//     from scratch, processing tasks in ready-time order like Dijkstra's
+//     algorithm.
+//   - ApplyDelta (the delta algorithm, Section 5.3) starts from the
+//     previous timeline and re-simulates only the tasks affected by a
+//     single operation's configuration change, propagating updates like
+//     Bellman-Ford.
+//
+// Both produce the identical, deterministic timeline: per-resource
+// execution order is the total order (readyTime, taskID), which the
+// engine maintains as a fixpoint. The differential tests in this package
+// assert full/delta equality over randomized mutation sequences.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"flexflow/internal/taskgraph"
+)
+
+// State is a simulation state: the task graph plus the per-resource
+// execution timelines.
+type State struct {
+	TG *taskgraph.TaskGraph
+
+	numDevices int
+	res        [][]*taskgraph.Task // resource ID -> execution order
+	Makespan   time.Duration
+
+	// Stats counts engine work for the Table 4 style comparisons.
+	Stats Stats
+
+	pq workHeap
+}
+
+// Stats counts simulator work.
+type Stats struct {
+	FullSims  int
+	DeltaSims int
+	// Pops is the number of task (re)evaluations performed.
+	Pops int64
+	// Fallbacks counts delta simulations that exceeded the fixpoint
+	// budget and were redone from scratch (should stay at/near zero).
+	Fallbacks int
+}
+
+// NewState creates a simulation state for the task graph. Call Simulate
+// to populate the timeline.
+func NewState(tg *taskgraph.TaskGraph) *State {
+	return &State{
+		TG:         tg,
+		numDevices: tg.Topo.NumDevices(),
+		res:        make([][]*taskgraph.Task, tg.Topo.NumDevices()+len(tg.Topo.Links)),
+	}
+}
+
+type workItem struct {
+	ready time.Duration
+	id    int
+	t     *taskgraph.Task
+}
+
+type workHeap []workItem
+
+func (h workHeap) Len() int { return len(h) }
+func (h workHeap) Less(i, j int) bool {
+	if h[i].ready != h[j].ready {
+		return h[i].ready < h[j].ready
+	}
+	return h[i].id < h[j].id
+}
+func (h workHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *workHeap) Push(x interface{}) { *h = append(*h, x.(workItem)) }
+func (h *workHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+func (s *State) push(t *taskgraph.Task) {
+	if t.SchedQueued && t.SchedKey == t.Ready {
+		return // identical entry already queued
+	}
+	t.SchedQueued = true
+	t.SchedKey = t.Ready
+	heap.Push(&s.pq, workItem{ready: t.Ready, id: t.ID, t: t})
+}
+
+// Simulate runs the full simulation algorithm: it clears all timing
+// state and rebuilds the timeline from scratch, returning the makespan
+// (the predicted per-iteration execution time). Tasks enter the ready
+// queue only once all predecessors have been evaluated (Algorithm 1's
+// NOTREADY -> READY transition), so each task is normally evaluated
+// exactly once; re-evaluations only occur to repair ready-time ties.
+func (s *State) Simulate() time.Duration {
+	s.Stats.FullSims++
+	for i := range s.res {
+		s.res[i] = s.res[i][:0]
+	}
+	s.pq = s.pq[:0]
+	for _, t := range s.TG.Tasks {
+		t.Ready, t.Start, t.End = 0, 0, 0
+		t.SchedPos = -1
+		t.SchedDone = false
+		t.SchedQueued = false
+		if t.Dead {
+			continue
+		}
+		n := 0
+		for _, p := range t.In {
+			if !p.Dead {
+				n++
+			}
+		}
+		t.SchedPending = n
+		if n == 0 {
+			s.push(t)
+		}
+	}
+	budget := s.budget()
+	if !s.run(budget) {
+		panic("sim: full simulation exceeded its fixpoint budget")
+	}
+	s.finish()
+	return s.Makespan
+}
+
+// ApplyDelta incorporates an incremental task-graph change (produced by
+// TaskGraph.ReplaceConfig) into an existing timeline, re-simulating only
+// the affected portion (Algorithm 2). It returns the new makespan.
+//
+// The affected portion is bounded in *time*: no removed task started and
+// no added/touched task becomes ready before the earliest change point
+// T0, and along any FIFO resource timeline start/end times are monotone,
+// so every task completing by T0 keeps its exact slot. The engine
+// truncates each timeline at T0 and re-schedules only the suffixes plus
+// the added tasks, evaluating each affected task once (plus tie
+// repairs). If the fixpoint exceeds its budget (differential tests show
+// it does not), it falls back to a full simulation, so the result is
+// always exact.
+func (s *State) ApplyDelta(cs taskgraph.ChangeSet) time.Duration {
+	s.Stats.DeltaSims++
+	s.pq = s.pq[:0]
+	const inf = time.Duration(1<<63 - 1)
+	t0 := inf
+
+	for _, t := range cs.Removed {
+		if t.SchedDone && t.Start < t0 {
+			t0 = t.Start
+		}
+	}
+	for _, t := range cs.Added {
+		t.SchedPos = -1
+		t.SchedDone = false
+	}
+	for _, t := range cs.Added {
+		// Chain heads (all predecessors already scheduled) bound the
+		// earliest time an added task can perturb the schedule; deeper
+		// added tasks are covered transitively.
+		head := true
+		for _, p := range t.In {
+			if !p.Dead && !p.SchedDone {
+				head = false
+				break
+			}
+		}
+		if head {
+			if r := s.readyOf(t); r < t0 {
+				t0 = r
+			}
+		}
+	}
+	for _, t := range cs.Touched {
+		if t.Start < t0 {
+			t0 = t.Start
+		}
+		if r := s.readyOf(t); r < t0 {
+			t0 = r
+		}
+	}
+	if t0 == inf {
+		// Nothing to do (e.g. a config replaced by an identical one).
+		s.finish()
+		return s.Makespan
+	}
+
+	// Truncate every resource timeline at T0: pop the suffix of tasks
+	// that start at/after T0 or end after it (start and end are monotone
+	// along a FIFO timeline), resetting them for re-scheduling. Dead
+	// tasks always fall in the suffix because no removed task started
+	// before T0.
+	var affected []*taskgraph.Task
+	for r := range s.res {
+		order := s.res[r]
+		cut := len(order)
+		for cut > 0 {
+			t := order[cut-1]
+			if t.Dead || t.End > t0 || t.Start >= t0 {
+				cut--
+				continue
+			}
+			break
+		}
+		for _, t := range order[cut:] {
+			t.SchedPos = -1
+			if !t.Dead {
+				t.SchedDone = false
+				affected = append(affected, t)
+			}
+		}
+		s.res[r] = order[:cut]
+	}
+	affected = append(affected, cs.Added...)
+
+	// Pending counts over the affected set; seeds are tasks whose every
+	// live predecessor already has a final end time.
+	for _, t := range affected {
+		n := 0
+		for _, p := range t.In {
+			if !p.Dead && !p.SchedDone {
+				n++
+			}
+		}
+		t.SchedPending = n
+	}
+	for _, t := range affected {
+		if t.SchedPending == 0 {
+			t.Ready = s.readyOf(t)
+			s.push(t)
+		}
+	}
+	if !s.run(s.budget()) {
+		s.Stats.Fallbacks++
+		return s.Simulate()
+	}
+	// Unaffected tasks all end by t0, so the makespan is determined by
+	// the re-scheduled suffix — no full scan needed.
+	makespan := t0
+	for _, t := range affected {
+		if t.End > makespan {
+			makespan = t.End
+		}
+	}
+	s.Makespan = makespan
+	return s.Makespan
+}
+
+func (s *State) budget() int64 {
+	n := int64(s.TG.Alive())
+	return 200*n + 10000
+}
+
+// readyOf recomputes a task's ready time from its predecessors'
+// current end times (unscheduled predecessors contribute zero and will
+// re-trigger the task when they complete).
+func (s *State) readyOf(t *taskgraph.Task) time.Duration {
+	var r time.Duration
+	for _, p := range t.In {
+		if p.End > r {
+			r = p.End
+		}
+	}
+	return r
+}
+
+// run drains the work queue until fixpoint, processing tasks in
+// (readyTime, taskID) order. Returns false if the budget is exhausted.
+func (s *State) run(budget int64) bool {
+	pops := int64(0)
+	for s.pq.Len() > 0 {
+		it := heap.Pop(&s.pq).(workItem)
+		t := it.t
+		if t.Dead || !t.SchedQueued || it.ready != t.SchedKey {
+			continue // stale queue entry (re-pushed or already handled)
+		}
+		t.SchedQueued = false
+		pops++
+		if pops > budget {
+			return false
+		}
+		s.evaluate(t)
+	}
+	s.Stats.Pops += pops
+	return true
+}
+
+// evaluate recomputes one task's schedule slot and propagates changes.
+func (s *State) evaluate(t *taskgraph.Task) {
+	inList := t.SchedPos >= 0
+	key := t.ScheduleKey(s.numDevices)
+	order := s.res[key]
+
+	moved := false
+	if inList {
+		// Reposition if the order key changed relative to neighbours.
+		pos := t.SchedPos
+		outOfPlace := (pos > 0 && !taskLess(order[pos-1], t)) ||
+			(pos+1 < len(order) && !taskLess(t, order[pos+1]))
+		if outOfPlace {
+			if next := s.removeFromOrder(t); next != nil {
+				s.push(next)
+			}
+			inList = false
+			moved = true
+		}
+	}
+	if !inList {
+		s.insertOrdered(key, t)
+	}
+	order = s.res[key]
+
+	var prevEnd time.Duration
+	if t.SchedPos > 0 {
+		prevEnd = order[t.SchedPos-1].End
+	}
+	start := t.Ready
+	if prevEnd > start {
+		start = prevEnd
+	}
+	end := start + t.Exe
+	first := !t.SchedDone
+	t.SchedDone = true
+	changed := end != t.End || moved
+	if start == t.Start && end == t.End && !moved && !first {
+		return
+	}
+	t.Start, t.End = start, end
+
+	// The device successor's start depends on our end.
+	if t.SchedPos+1 < len(order) {
+		s.push(order[t.SchedPos+1])
+	}
+	if !changed && !first {
+		return
+	}
+	for _, succ := range t.Out {
+		if first {
+			// Our first evaluation releases one of succ's pending
+			// inputs; succ enters the queue when the last one resolves
+			// (unless it was already evaluated, e.g. a surviving task
+			// downstream of a delta change).
+			if !succ.SchedDone {
+				succ.SchedPending--
+				if succ.SchedPending > 0 {
+					continue
+				}
+			}
+		} else if !succ.SchedDone && succ.SchedPending > 0 {
+			// Still waiting on other inputs; it will read our final end
+			// time when it is released.
+			continue
+		}
+		r := s.readyOf(succ)
+		if r != succ.Ready || !succ.SchedDone {
+			succ.Ready = r
+			s.push(succ)
+		}
+	}
+}
+
+func taskLess(a, b *taskgraph.Task) bool {
+	if a.Ready != b.Ready {
+		return a.Ready < b.Ready
+	}
+	return a.ID < b.ID
+}
+
+// removeFromOrder deletes t from its resource timeline and returns the
+// task that moved into its slot (its former successor), if any.
+func (s *State) removeFromOrder(t *taskgraph.Task) *taskgraph.Task {
+	key := t.ScheduleKey(s.numDevices)
+	order := s.res[key]
+	pos := t.SchedPos
+	copy(order[pos:], order[pos+1:])
+	order = order[:len(order)-1]
+	s.res[key] = order
+	for i := pos; i < len(order); i++ {
+		order[i].SchedPos = i
+	}
+	t.SchedPos = -1
+	if pos < len(order) {
+		return order[pos]
+	}
+	return nil
+}
+
+// insertOrdered inserts t into its resource timeline at its sorted
+// position by (Ready, ID).
+func (s *State) insertOrdered(key int, t *taskgraph.Task) {
+	order := s.res[key]
+	lo, hi := 0, len(order)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if taskLess(order[mid], t) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	order = append(order, nil)
+	copy(order[lo+1:], order[lo:])
+	order[lo] = t
+	s.res[key] = order
+	for i := lo; i < len(order); i++ {
+		order[i].SchedPos = i
+	}
+}
+
+// finish recomputes the makespan and verifies every live task was
+// scheduled.
+func (s *State) finish() {
+	var makespan time.Duration
+	for _, t := range s.TG.Tasks {
+		if t.Dead {
+			continue
+		}
+		if t.SchedPos < 0 {
+			panic(fmt.Sprintf("sim: task %v never scheduled (cyclic task graph?)", t))
+		}
+		if t.End > makespan {
+			makespan = t.End
+		}
+	}
+	s.Makespan = makespan
+}
+
+// Timeline returns the execution order of the given resource (device ID,
+// or numDevices+linkID for links). The returned slice is owned by the
+// state; callers must not modify it.
+func (s *State) Timeline(resource int) []*taskgraph.Task { return s.res[resource] }
+
+// CriticalPathLowerBound returns the longest dependency-chain time
+// ignoring resource contention — a lower bound any correct schedule must
+// respect (used by invariant tests).
+func CriticalPathLowerBound(tg *taskgraph.TaskGraph) time.Duration {
+	longest := make(map[int]time.Duration, len(tg.Tasks))
+	var best time.Duration
+	// Tasks were created in topological order of the DAG? Not
+	// necessarily across ReplaceConfig calls, so iterate to fixpoint
+	// over a DFS instead.
+	var visit func(t *taskgraph.Task) time.Duration
+	visit = func(t *taskgraph.Task) time.Duration {
+		if d, ok := longest[t.ID]; ok {
+			return d
+		}
+		longest[t.ID] = 0 // cycle guard; task graphs are DAGs
+		var in time.Duration
+		for _, p := range t.In {
+			if d := visit(p); d > in {
+				in = d
+			}
+		}
+		d := in + t.Exe
+		longest[t.ID] = d
+		return d
+	}
+	for _, t := range tg.Tasks {
+		if t.Dead {
+			continue
+		}
+		if d := visit(t); d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// SerialUpperBound returns the sum of all task times — the time a
+// single resource executing everything serially would need; any
+// schedule's makespan is at most this.
+func SerialUpperBound(tg *taskgraph.TaskGraph) time.Duration {
+	var sum time.Duration
+	for _, t := range tg.Tasks {
+		if !t.Dead {
+			sum += t.Exe
+		}
+	}
+	return sum
+}

@@ -1,0 +1,190 @@
+package taskgraph
+
+import (
+	"time"
+
+	"flexflow/internal/config"
+	"flexflow/internal/graph"
+)
+
+// ChangeSet describes the result of an incremental task-graph update:
+// the tasks removed, the tasks added, and surviving tasks whose incoming
+// dependencies changed (whose ready times the delta simulator must
+// recompute).
+type ChangeSet struct {
+	Removed []*Task
+	Added   []*Task
+	Touched []*Task
+}
+
+// ReplaceConfig swaps the parallelization configuration of one operation
+// and incrementally rebuilds the affected portion of the task graph: the
+// op's compute/update/sync tasks and the communication tasks on every
+// edge adjacent to the op. This is UPDATETASKGRAPH from Algorithm 2.
+func (tg *TaskGraph) ReplaceConfig(opID int, c *config.Config) ChangeSet {
+	op := tg.G.Op(opID)
+	if op.Kind == graph.Input {
+		panic("taskgraph: ReplaceConfig on an Input op")
+	}
+	if err := c.Validate(op, tg.Topo); err != nil {
+		panic("taskgraph: " + err.Error())
+	}
+	var cs ChangeSet
+	touched := map[int]*Task{}
+
+	// 1. Collect every task owned by the op or by its adjacent edges.
+	doomed := map[int]*Task{}
+	collect := func(ts []*Task) {
+		for _, t := range ts {
+			doomed[t.ID] = t
+		}
+	}
+	collect(tg.fwd[opID])
+	collect(tg.bwd[opID])
+	collect(tg.extras[opID])
+	var edges [][2]int
+	for _, in := range op.Inputs {
+		if in.Kind != graph.Input {
+			edges = append(edges, [2]int{in.ID, opID})
+		}
+	}
+	for _, consumer := range tg.G.Consumers(op) {
+		edges = append(edges, [2]int{opID, consumer.ID})
+	}
+	for _, e := range edges {
+		collect(tg.edgeComm[e])
+	}
+
+	// 2. Unlink doomed tasks from surviving neighbours; survivors whose
+	// In set changes are touched (their ready times may change).
+	for _, t := range doomed {
+		for _, p := range t.In {
+			if doomed[p.ID] == nil {
+				p.Out = removeTask(p.Out, t)
+			}
+		}
+		for _, s := range t.Out {
+			if doomed[s.ID] == nil {
+				s.In = removeTask(s.In, t)
+				touched[s.ID] = s
+			}
+		}
+		t.Dead = true
+		t.In, t.Out = nil, nil
+		cs.Removed = append(cs.Removed, t)
+	}
+	tg.numDead += len(doomed)
+
+	// 3. Install the new config and rebuild.
+	tg.Strat.Set(opID, c)
+	firstNew := tg.nextID
+	tg.buildComputeTasks(op)
+	for _, e := range edges {
+		tg.buildEdge(tg.G.Op(e[0]), tg.G.Op(e[1]))
+	}
+	tg.buildSync(op)
+
+	for _, t := range tg.Tasks[len(tg.Tasks)-(tg.nextID-firstNew):] {
+		cs.Added = append(cs.Added, t)
+	}
+	// Neighbour tasks gained new in-edges during the rebuild: any
+	// survivor that now has an added task among its inputs.
+	for _, t := range cs.Added {
+		for _, s := range t.Out {
+			if s.ID < firstNew {
+				touched[s.ID] = s
+			}
+		}
+	}
+	for _, t := range touched {
+		if !t.Dead {
+			cs.Touched = append(cs.Touched, t)
+		}
+	}
+
+	if tg.numDead > len(tg.Tasks)/2 {
+		tg.Compact()
+	}
+	return cs
+}
+
+// Compact drops dead tasks from the task list (IDs are preserved; they
+// are unique, not dense).
+func (tg *TaskGraph) Compact() {
+	alive := tg.Tasks[:0]
+	for _, t := range tg.Tasks {
+		if !t.Dead {
+			alive = append(alive, t)
+		}
+	}
+	tg.Tasks = alive
+	tg.numDead = 0
+}
+
+// Alive returns the number of live tasks.
+func (tg *TaskGraph) Alive() int { return len(tg.Tasks) - tg.numDead }
+
+// ForwardTasks returns the live forward compute tasks of an op.
+func (tg *TaskGraph) ForwardTasks(opID int) []*Task { return tg.fwd[opID] }
+
+// BackwardTasks returns the live backward compute tasks of an op.
+func (tg *TaskGraph) BackwardTasks(opID int) []*Task { return tg.bwd[opID] }
+
+func removeTask(ts []*Task, victim *Task) []*Task {
+	for i, t := range ts {
+		if t == victim {
+			return append(ts[:i], ts[i+1:]...)
+		}
+	}
+	return ts
+}
+
+// Metrics aggregates per-strategy statistics: the quantities behind
+// Figure 8 (total data transfers and total task computation time per
+// iteration) and the Figure 13 discussion (parameter synchronization
+// cost).
+type Metrics struct {
+	NumTasks        int
+	NumCommTasks    int
+	CommBytes       int64         // all transfers
+	SyncBytes       int64         // parameter-synchronization transfers only
+	ComputeTime     time.Duration // sum of compute-task execution times
+	CommTime        time.Duration // sum of communication-task times
+	UpdateTime      time.Duration // sum of weight-update task times
+	MaxTasksPerDev  int
+	DevicesInvolved int
+}
+
+// Metrics computes aggregate statistics over the live tasks.
+func (tg *TaskGraph) Metrics() Metrics {
+	var m Metrics
+	perDev := map[int]int{}
+	for _, t := range tg.Tasks {
+		if t.Dead {
+			continue
+		}
+		m.NumTasks++
+		switch t.Kind {
+		case Compute:
+			m.ComputeTime += t.Exe
+			perDev[t.Device]++
+		case Update:
+			m.UpdateTime += t.Exe
+			perDev[t.Device]++
+		case Comm:
+			m.NumCommTasks++
+			m.CommBytes += t.Bytes
+			m.CommTime += t.Exe
+			if t.Sync {
+				m.SyncBytes += t.Bytes
+			}
+		}
+	}
+	for _, n := range perDev {
+		if n > m.MaxTasksPerDev {
+			m.MaxTasksPerDev = n
+		}
+	}
+	m.DevicesInvolved = len(perDev)
+	return m
+}

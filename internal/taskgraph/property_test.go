@@ -1,0 +1,120 @@
+package taskgraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flexflow/internal/config"
+	"flexflow/internal/device"
+	"flexflow/internal/graph"
+	"flexflow/internal/perfmodel"
+)
+
+// Property: for random strategies, the task graph is structurally sound
+// — acyclic in construction order (checked via In/Out symmetry), every
+// comm task connects distinct devices, sync traffic is a subset of all
+// traffic, and forward/backward activation transfers are symmetric.
+func TestTaskGraphStructureProperty(t *testing.T) {
+	g := graph.New("prop")
+	x := g.Input4D("x", 16, 6, 20, 20)
+	c1 := g.Conv2D("c1", x, 12, 3, 3, 1, 1, 1, 1)
+	p := g.Pool2D("p", c1, 2, 2, 2, 2, 0, 0)
+	f := g.Flatten("f", p)
+	d := g.Dense("fc", f, 64)
+	g.SoftmaxClassifier("sm", d, 10)
+
+	est := perfmodel.NewAnalyticModel()
+	fn := func(seed int64, gpuRaw uint8) bool {
+		gpus := int(gpuRaw%6) + 2
+		topo := device.NewSingleNode(gpus, "P100")
+		rng := rand.New(rand.NewSource(seed))
+		s := config.Random(g, topo, rng)
+		tg := Build(g, topo, s, est, Options{})
+
+		var fwdComm, bwdComm int64
+		for _, task := range tg.Tasks {
+			// In/Out symmetry.
+			for _, p := range task.In {
+				if !contains(p.Out, task) {
+					t.Logf("asymmetric edge into %v", task)
+					return false
+				}
+			}
+			for _, n := range task.Out {
+				if !contains(n.In, task) {
+					t.Logf("asymmetric edge out of %v", task)
+					return false
+				}
+			}
+			if task.Kind == Comm {
+				if task.SrcDev == task.DstDev {
+					t.Logf("self-transfer %v", task)
+					return false
+				}
+				if task.Bytes <= 0 || task.Link < 0 {
+					t.Logf("degenerate comm %v", task)
+					return false
+				}
+				if !task.Sync {
+					if task.Pass == perfmodel.Forward {
+						fwdComm += task.Bytes
+					} else {
+						bwdComm += task.Bytes
+					}
+				}
+			}
+		}
+		if fwdComm != bwdComm {
+			t.Logf("activation transfers asymmetric: fwd %d vs bwd %d", fwdComm, bwdComm)
+			return false
+		}
+		m := tg.Metrics()
+		if m.SyncBytes > m.CommBytes {
+			t.Logf("sync %d exceeds total %d", m.SyncBytes, m.CommBytes)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: incremental rebuild converges to the same metrics as a
+// fresh build after arbitrary mutation sequences.
+func TestReplaceConfigConvergesProperty(t *testing.T) {
+	g := mlp()
+	est := perfmodel.NewAnalyticModel()
+	fn := func(seed int64) bool {
+		topo := device.NewSingleNode(4, "P100")
+		rng := rand.New(rand.NewSource(seed))
+		tg := Build(g, topo, config.DataParallel(g, topo), est, Options{})
+		ops := g.ComputeOps()
+		for i := 0; i < 12; i++ {
+			op := ops[rng.Intn(len(ops))]
+			tg.ReplaceConfig(op.ID, config.RandomConfig(op, topo, rng))
+		}
+		fresh := Build(g, topo, tg.Strat.Clone(), est, Options{})
+		a, b := tg.Metrics(), fresh.Metrics()
+		if a.NumTasks != b.NumTasks || a.CommBytes != b.CommBytes ||
+			a.SyncBytes != b.SyncBytes || a.ComputeTime != b.ComputeTime ||
+			a.UpdateTime != b.UpdateTime {
+			t.Logf("metrics diverged: %+v vs %+v", a, b)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func contains(ts []*Task, v *Task) bool {
+	for _, t := range ts {
+		if t == v {
+			return true
+		}
+	}
+	return false
+}

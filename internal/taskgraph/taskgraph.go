@@ -1,0 +1,458 @@
+// Package taskgraph constructs the task graph of Section 5.1: given an
+// operator graph, a device topology and a parallelization strategy, it
+// derives per-task compute work (forward, backward and weight-update
+// tasks), the communication tasks implied by overlapping sub-tensors on
+// different devices, and the parameter-synchronization traffic of
+// replicated weights. Hardware connections are treated as communication
+// devices so computation and communication can overlap.
+//
+// The builder also supports the incremental update the delta simulation
+// algorithm needs (Section 5.3): ReplaceConfig rebuilds exactly the
+// tasks belonging to one operation and the communication attached to it.
+package taskgraph
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"flexflow/internal/config"
+	"flexflow/internal/device"
+	"flexflow/internal/graph"
+	"flexflow/internal/perfmodel"
+	"flexflow/internal/tensor"
+)
+
+// TaskKind classifies tasks.
+type TaskKind uint8
+
+const (
+	// Compute is a normal task: a shard of an operation's forward or
+	// backward work.
+	Compute TaskKind = iota
+	// Comm is a communication task: a tensor transfer over a connection.
+	Comm
+	// Update applies a synchronized gradient shard to local weights.
+	Update
+)
+
+func (k TaskKind) String() string {
+	switch k {
+	case Compute:
+		return "compute"
+	case Comm:
+		return "comm"
+	case Update:
+		return "update"
+	default:
+		return fmt.Sprintf("TaskKind(%d)", uint8(k))
+	}
+}
+
+// Task is a node of the task graph. The simulator fills in the timing
+// fields (Ready/Start/End); everything else is set at construction.
+type Task struct {
+	ID   int
+	Kind TaskKind
+	Op   *graph.Op // owning op (nil for cross-op comm tasks)
+	Pass perfmodel.Pass
+	// Index is the flat grid index of compute tasks within their config.
+	Index int
+	// Device is the compute device for Compute/Update tasks, -1 for Comm.
+	Device int
+	// Link is the bottleneck link a Comm task is scheduled on, -1 otherwise.
+	Link int
+	// SrcDev/DstDev are the endpoints of a Comm task.
+	SrcDev, DstDev int
+	// Exe is the task's predicted execution time.
+	Exe time.Duration
+	// Bytes is the payload of a Comm task.
+	Bytes int64
+	// Sync marks parameter-synchronization traffic (vs activation
+	// transfers); Figure 8b and the Figure 13 discussion separate them.
+	Sync bool
+
+	In, Out []*Task
+
+	// Dead marks tasks removed by ReplaceConfig; they are skipped by the
+	// simulator and compacted lazily.
+	Dead bool
+
+	// Timing state owned by the simulator.
+	Ready, Start, End time.Duration
+	// SchedPos is the task's index in its resource's execution order
+	// (simulator-owned scratch; -1 when unscheduled).
+	SchedPos int
+	// SchedPending counts unevaluated predecessors (simulator-owned):
+	// the engine defers a task's first evaluation until all inputs have
+	// been evaluated, like Algorithm 1's NOTREADY/READY states.
+	SchedPending int
+	// SchedDone marks tasks that have been evaluated at least once.
+	SchedDone bool
+	// SchedQueued / SchedKey dedup work-queue entries: SchedQueued marks
+	// a live queue entry and SchedKey its ready-time key, so re-pushing
+	// a task at an unchanged ready time is a no-op.
+	SchedQueued bool
+	SchedKey    time.Duration
+}
+
+func (t *Task) String() string {
+	opName := "-"
+	if t.Op != nil {
+		opName = t.Op.Name
+	}
+	return fmt.Sprintf("t%d[%s/%s %s idx=%d dev=%d link=%d exe=%v]",
+		t.ID, t.Kind, t.Pass, opName, t.Index, t.Device, t.Link, t.Exe)
+}
+
+// ScheduleKey returns the resource the task occupies: compute tasks
+// occupy their device, communication tasks their bottleneck link.
+// Resources are numbered devices first, then links.
+func (t *Task) ScheduleKey(numDevices int) int {
+	if t.Kind == Comm {
+		return numDevices + t.Link
+	}
+	return t.Device
+}
+
+// Options control task-graph construction.
+type Options struct {
+	// SkipBackward limits the graph to the forward pass (used by the
+	// inference examples and some unit tests). Training graphs include
+	// forward, backward and parameter synchronization, like the paper's.
+	SkipBackward bool
+	// SkipParamSync omits gradient synchronization (ablation).
+	SkipParamSync bool
+	// StarSync replaces the ring all-reduce with a star (all replicas
+	// send to the primary, which broadcasts back) — the
+	// parameter-server-style ablation described in DESIGN.md.
+	StarSync bool
+}
+
+// TaskGraph is the constructed graph plus the indexes needed for
+// incremental updates.
+type TaskGraph struct {
+	G     *graph.Graph
+	Topo  *device.Topology
+	Strat *config.Strategy
+	Est   perfmodel.Estimator
+	Opts  Options
+
+	Tasks  []*Task
+	nextID int
+
+	// Per-op task groups, indexed by op ID.
+	fwd    [][]*Task // forward compute tasks, by grid index
+	bwd    [][]*Task // backward compute tasks, by grid index
+	extras [][]*Task // sync comm + update tasks owned by the op
+
+	// Cross-op communication tasks, keyed by (producer, consumer) op IDs.
+	edgeComm map[[2]int][]*Task
+
+	numDead int
+}
+
+// Build constructs the task graph for a strategy. The strategy must be
+// valid for (g, topo); Build panics otherwise, since the search layer
+// only ever proposes valid configs.
+func Build(g *graph.Graph, topo *device.Topology, strat *config.Strategy, est perfmodel.Estimator, opts Options) *TaskGraph {
+	if err := strat.Validate(g, topo); err != nil {
+		panic(fmt.Sprintf("taskgraph: %v", err))
+	}
+	tg := &TaskGraph{
+		G: g, Topo: topo, Strat: strat, Est: est, Opts: opts,
+		fwd:      make([][]*Task, g.NumOps()),
+		bwd:      make([][]*Task, g.NumOps()),
+		extras:   make([][]*Task, g.NumOps()),
+		edgeComm: make(map[[2]int][]*Task),
+	}
+	for _, op := range g.ComputeOps() {
+		tg.buildComputeTasks(op)
+	}
+	for _, op := range g.ComputeOps() {
+		for _, in := range op.Inputs {
+			if in.Kind != graph.Input {
+				tg.buildEdge(in, op)
+			}
+		}
+		tg.buildSync(op)
+	}
+	return tg
+}
+
+func (tg *TaskGraph) newTask(t *Task) *Task {
+	t.ID = tg.nextID
+	tg.nextID++
+	tg.Tasks = append(tg.Tasks, t)
+	return t
+}
+
+func addDep(from, to *Task) {
+	from.Out = append(from.Out, to)
+	to.In = append(to.In, from)
+}
+
+// Connect adds an ordering dependency between two tasks. It exists for
+// hand-assembled task graphs (tests, worked examples); Build wires
+// dependencies itself.
+func Connect(from, to *Task) { addDep(from, to) }
+
+// Manual wraps hand-assembled tasks into a TaskGraph for direct
+// simulation (e.g. reproducing the worked example of Figure 5). Task IDs
+// are assigned in slice order.
+func Manual(topo *device.Topology, tasks []*Task) *TaskGraph {
+	tg := &TaskGraph{Topo: topo, edgeComm: make(map[[2]int][]*Task)}
+	for _, t := range tasks {
+		tg.newTask(t)
+	}
+	return tg
+}
+
+// regionOf returns the output region of task index k of op.
+func (tg *TaskGraph) regionOf(op *graph.Op, k int) tensor.Region {
+	c := tg.Strat.Config(op.ID)
+	return tensor.GridRegion(op.Out, c.Degrees, k)
+}
+
+// buildComputeTasks creates the forward (and backward) compute tasks of
+// an op, with the forward->backward dependency per task index.
+func (tg *TaskGraph) buildComputeTasks(op *graph.Op) {
+	c := tg.Strat.Config(op.ID)
+	n := c.NumTasks()
+	fwd := make([]*Task, n)
+	for k := 0; k < n; k++ {
+		region := tensor.GridRegion(op.Out, c.Degrees, k)
+		dev := tg.Topo.Device(c.Devices[k])
+		fwd[k] = tg.newTask(&Task{
+			Kind: Compute, Op: op, Pass: perfmodel.Forward, Index: k,
+			Device: c.Devices[k], Link: -1,
+			Exe: tg.Est.ExecTime(op, region, dev, perfmodel.Forward),
+		})
+	}
+	tg.fwd[op.ID] = fwd
+	if tg.Opts.SkipBackward {
+		tg.bwd[op.ID] = nil
+		return
+	}
+	bwd := make([]*Task, n)
+	for k := 0; k < n; k++ {
+		region := tensor.GridRegion(op.Out, c.Degrees, k)
+		dev := tg.Topo.Device(c.Devices[k])
+		bwd[k] = tg.newTask(&Task{
+			Kind: Compute, Op: op, Pass: perfmodel.Backward, Index: k,
+			Device: c.Devices[k], Link: -1,
+			Exe: tg.Est.ExecTime(op, region, dev, perfmodel.Backward),
+		})
+		addDep(fwd[k], bwd[k])
+	}
+	tg.bwd[op.ID] = bwd
+}
+
+// buildEdge wires dependencies (and communication tasks) between the
+// tasks of producer prod and consumer cons for the tensor flowing
+// between them (Section 5.1 step 2): for every task pair with shared
+// sub-tensors, a direct dependency if co-located, otherwise a
+// communication task on the connection between their devices. The
+// backward pass mirrors each transfer in the reverse direction.
+func (tg *TaskGraph) buildEdge(prod, cons *graph.Op) {
+	key := [2]int{prod.ID, cons.ID}
+	inputIdx := -1
+	for i, in := range cons.Inputs {
+		if in.ID == prod.ID {
+			inputIdx = i
+			break
+		}
+	}
+	if inputIdx < 0 {
+		panic(fmt.Sprintf("taskgraph: %q does not consume %q", cons.Name, prod.Name))
+	}
+	var comms []*Task
+	consCfg := tg.Strat.Config(cons.ID)
+	for ck := 0; ck < consCfg.NumTasks(); ck++ {
+		outRegion := tg.regionOf(cons, ck)
+		need := graph.InputRegions(cons, outRegion)[inputIdx]
+		if need.Empty() {
+			continue
+		}
+		for pk, pt := range tg.fwd[prod.ID] {
+			share := tg.regionOf(prod, pk).Intersect(need)
+			vol := share.Volume()
+			if vol == 0 {
+				continue
+			}
+			ct := tg.fwd[cons.ID][ck]
+			srcDev, dstDev := pt.Device, ct.Device
+			if srcDev == dstDev {
+				addDep(pt, ct)
+				if !tg.Opts.SkipBackward {
+					addDep(tg.bwd[cons.ID][ck], tg.bwd[prod.ID][pk])
+				}
+				continue
+			}
+			bytes := vol * tensor.ElemBytes
+			path := tg.Topo.Route(srcDev, dstDev)
+			fc := tg.newTask(&Task{
+				Kind: Comm, Op: cons, Pass: perfmodel.Forward,
+				Device: -1, Link: path.BottleneckLink,
+				SrcDev: srcDev, DstDev: dstDev,
+				Bytes: bytes, Exe: path.TransferTime(bytes),
+			})
+			addDep(pt, fc)
+			addDep(fc, ct)
+			comms = append(comms, fc)
+			if !tg.Opts.SkipBackward {
+				rpath := tg.Topo.Route(dstDev, srcDev)
+				bc := tg.newTask(&Task{
+					Kind: Comm, Op: cons, Pass: perfmodel.Backward,
+					Device: -1, Link: rpath.BottleneckLink,
+					SrcDev: dstDev, DstDev: srcDev,
+					Bytes: bytes, Exe: rpath.TransferTime(bytes),
+				})
+				addDep(tg.bwd[cons.ID][ck], bc)
+				addDep(bc, tg.bwd[prod.ID][pk])
+				comms = append(comms, bc)
+			}
+		}
+	}
+	tg.edgeComm[key] = comms
+}
+
+// buildSync emits the gradient-synchronization and weight-update tasks
+// of an op (skipped for weightless ops and forward-only graphs). Tasks
+// that replicate a weight shard all-reduce their gradients over a ring
+// of the distinct devices holding replicas; every device then runs an
+// Update task for its local copy.
+func (tg *TaskGraph) buildSync(op *graph.Op) {
+	tg.extras[op.ID] = nil
+	if tg.Opts.SkipBackward || !op.HasWeights() {
+		return
+	}
+	c := tg.Strat.Config(op.ID)
+	w := op.Weights(c.Degrees)
+	if w.Elems == 0 {
+		return
+	}
+	var extras []*Task
+	// Group backward tasks by weight shard: tasks sharing all Parameter
+	// dimension coordinates accumulate gradients for the same shard.
+	shards := map[int][]*Task{}
+	for k, bt := range tg.bwd[op.ID] {
+		coords := tensor.GridCoords(c.Degrees, k)
+		shardID := 0
+		for i, d := range c.Degrees {
+			if op.Out.Kind(i) == tensor.Parameter {
+				shardID = shardID*d + coords[i]
+			}
+		}
+		shards[shardID] = append(shards[shardID], bt)
+	}
+	shardIDs := make([]int, 0, len(shards))
+	for id := range shards {
+		shardIDs = append(shardIDs, id)
+	}
+	sort.Ints(shardIDs)
+
+	shardRegion := tensor.Region{Iv: []tensor.Interval{{Lo: 0, Hi: int(w.Elems)}}}
+	shardBytes := w.Elems * tensor.ElemBytes
+	for _, id := range shardIDs {
+		replicas := shards[id]
+		// Distinct devices holding this shard, with the local backward
+		// tasks contributing gradients on each.
+		byDev := map[int][]*Task{}
+		var devs []int
+		for _, bt := range replicas {
+			if _, ok := byDev[bt.Device]; !ok {
+				devs = append(devs, bt.Device)
+			}
+			byDev[bt.Device] = append(byDev[bt.Device], bt)
+		}
+		sort.Ints(devs)
+
+		updates := make([]*Task, len(devs))
+		for i, dev := range devs {
+			updates[i] = tg.newTask(&Task{
+				Kind: Update, Op: op, Pass: perfmodel.Update, Index: id,
+				Device: dev, Link: -1,
+				Exe: tg.Est.ExecTime(op, shardRegion, tg.Topo.Device(dev), perfmodel.Update),
+			})
+		}
+		if len(devs) == 1 {
+			for _, bt := range byDev[devs[0]] {
+				addDep(bt, updates[0])
+			}
+			extras = append(extras, updates[0])
+			continue
+		}
+		if tg.Opts.StarSync {
+			extras = append(extras, tg.buildStarSync(op, devs, byDev, updates, shardBytes)...)
+		} else {
+			extras = append(extras, tg.buildRingSync(op, devs, byDev, updates, shardBytes)...)
+		}
+		extras = append(extras, updates...)
+	}
+	tg.extras[op.ID] = extras
+}
+
+// buildRingSync models a ring all-reduce: each of the n ring links
+// carries 2*(n-1)/n of the shard (scatter-reduce + all-gather volume).
+// Each link's transfer depends on the gradients at its source; each
+// device's update depends on its incoming transfer.
+func (tg *TaskGraph) buildRingSync(op *graph.Op, devs []int, byDev map[int][]*Task, updates []*Task, shardBytes int64) []*Task {
+	n := len(devs)
+	var out []*Task
+	for i := 0; i < n; i++ {
+		src, dst := devs[i], devs[(i+1)%n]
+		bytes := 2 * shardBytes * int64(n-1) / int64(n)
+		path := tg.Topo.Route(src, dst)
+		ct := tg.newTask(&Task{
+			Kind: Comm, Op: op, Pass: perfmodel.Backward,
+			Device: -1, Link: path.BottleneckLink,
+			SrcDev: src, DstDev: dst,
+			Bytes: bytes, Exe: path.TransferTime(bytes), Sync: true,
+		})
+		for _, bt := range byDev[src] {
+			addDep(bt, ct)
+		}
+		addDep(ct, updates[(i+1)%n])
+		out = append(out, ct)
+	}
+	return out
+}
+
+// buildStarSync models a parameter-server style reduction: every
+// secondary device ships its full gradient shard to the primary, which
+// updates and broadcasts the result back.
+func (tg *TaskGraph) buildStarSync(op *graph.Op, devs []int, byDev map[int][]*Task, updates []*Task, shardBytes int64) []*Task {
+	primary := devs[0]
+	var out []*Task
+	for i := 1; i < len(devs); i++ {
+		up := tg.Topo.Route(devs[i], primary)
+		in := tg.newTask(&Task{
+			Kind: Comm, Op: op, Pass: perfmodel.Backward,
+			Device: -1, Link: up.BottleneckLink,
+			SrcDev: devs[i], DstDev: primary,
+			Bytes: shardBytes, Exe: up.TransferTime(shardBytes), Sync: true,
+		})
+		for _, bt := range byDev[devs[i]] {
+			addDep(bt, in)
+		}
+		addDep(in, updates[0])
+		out = append(out, in)
+	}
+	for _, bt := range byDev[primary] {
+		addDep(bt, updates[0])
+	}
+	for i := 1; i < len(devs); i++ {
+		down := tg.Topo.Route(primary, devs[i])
+		bc := tg.newTask(&Task{
+			Kind: Comm, Op: op, Pass: perfmodel.Backward,
+			Device: -1, Link: down.BottleneckLink,
+			SrcDev: primary, DstDev: devs[i],
+			Bytes: shardBytes, Exe: down.TransferTime(shardBytes), Sync: true,
+		})
+		addDep(updates[0], bc)
+		addDep(bc, updates[i])
+		out = append(out, bc)
+	}
+	return out
+}

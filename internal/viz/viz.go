@@ -1,0 +1,116 @@
+// Package viz renders simulated execution timelines as ASCII Gantt
+// charts — the textual equivalent of the per-device timelines in
+// Figure 5 of the paper. Each resource (device or link) gets a row;
+// compute, communication and update tasks get distinct glyphs.
+package viz
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"flexflow/internal/sim"
+	"flexflow/internal/taskgraph"
+)
+
+// Options control rendering.
+type Options struct {
+	// Width is the number of character columns for the time axis
+	// (default 80).
+	Width int
+	// ShowLinks includes communication-link rows (default only devices).
+	ShowLinks bool
+}
+
+// glyph returns the character class for a task.
+func glyph(t *taskgraph.Task) byte {
+	switch {
+	case t.Kind == taskgraph.Comm && t.Sync:
+		return '~' // parameter synchronization
+	case t.Kind == taskgraph.Comm:
+		return '-' // activation transfer
+	case t.Kind == taskgraph.Update:
+		return '+'
+	case t.Pass == 1: // perfmodel.Backward
+		return '#'
+	default:
+		return '='
+	}
+}
+
+// Timeline renders the simulated schedule of a task graph. The state
+// must have been produced by a prior Simulate/ApplyDelta call.
+func Timeline(st *sim.State, opts Options) string {
+	width := opts.Width
+	if width <= 0 {
+		width = 80
+	}
+	tg := st.TG
+	makespan := st.Makespan
+	if makespan <= 0 {
+		return "(empty timeline)\n"
+	}
+	scale := func(d time.Duration) int {
+		c := int(int64(d) * int64(width) / int64(makespan))
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline: makespan %v, %d tasks ('=' fwd, '#' bwd, '+' update, '-' xfer, '~' sync)\n",
+		makespan, tg.Alive())
+	numDevices := tg.Topo.NumDevices()
+	total := numDevices + len(tg.Topo.Links)
+	for r := 0; r < total; r++ {
+		if r >= numDevices && !opts.ShowLinks {
+			break
+		}
+		order := st.Timeline(r)
+		if len(order) == 0 {
+			continue
+		}
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		busy := time.Duration(0)
+		for _, t := range order {
+			busy += t.Exe
+			lo, hi := scale(t.Start), scale(t.End)
+			g := glyph(t)
+			for c := lo; c <= hi && c < width; c++ {
+				row[c] = g
+			}
+		}
+		label := ""
+		if r < numDevices {
+			label = tg.Topo.Device(r).Name
+		} else {
+			label = tg.Topo.Links[r-numDevices].Name()
+		}
+		util := float64(busy) / float64(makespan) * 100
+		fmt.Fprintf(&b, "%-18s |%s| %5.1f%%\n", label, row, util)
+	}
+	return b.String()
+}
+
+// Utilization returns per-resource busy fractions of the makespan
+// (devices first, then links).
+func Utilization(st *sim.State) []float64 {
+	tg := st.TG
+	total := tg.Topo.NumDevices() + len(tg.Topo.Links)
+	out := make([]float64, total)
+	if st.Makespan <= 0 {
+		return out
+	}
+	for r := 0; r < total; r++ {
+		var busy time.Duration
+		for _, t := range st.Timeline(r) {
+			busy += t.Exe
+		}
+		out[r] = float64(busy) / float64(st.Makespan)
+	}
+	return out
+}

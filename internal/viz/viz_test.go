@@ -1,0 +1,108 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"flexflow/internal/config"
+	"flexflow/internal/device"
+	"flexflow/internal/graph"
+	"flexflow/internal/perfmodel"
+	"flexflow/internal/sim"
+	"flexflow/internal/taskgraph"
+)
+
+func simulated(t *testing.T) *sim.State {
+	t.Helper()
+	g := graph.New("viz")
+	x := g.Input4D("x", 16, 8, 16, 16)
+	c := g.Conv2D("conv", x, 16, 3, 3, 1, 1, 1, 1)
+	f := g.Flatten("f", c)
+	g.Dense("fc", f, 64)
+	topo := device.NewSingleNode(2, "P100")
+	tg := taskgraph.Build(g, topo, config.DataParallel(g, topo), perfmodel.NewAnalyticModel(), taskgraph.Options{})
+	st := sim.NewState(tg)
+	st.Simulate()
+	return st
+}
+
+func TestTimelineRendering(t *testing.T) {
+	st := simulated(t)
+	out := Timeline(st, Options{Width: 60})
+	if !strings.Contains(out, "makespan") {
+		t.Fatalf("missing header: %q", out)
+	}
+	// Device rows present with utilization figures.
+	if !strings.Contains(out, "P100-n0-g0") || !strings.Contains(out, "%") {
+		t.Fatalf("missing device rows: %q", out)
+	}
+	// Forward, backward and update glyphs all appear.
+	for _, g := range []string{"=", "#", "+"} {
+		if !strings.Contains(out, g) {
+			t.Fatalf("missing glyph %q in:\n%s", g, out)
+		}
+	}
+	// Links hidden by default, shown on request.
+	if strings.Contains(out, "NVLink") {
+		t.Fatal("links shown without ShowLinks")
+	}
+	withLinks := Timeline(st, Options{Width: 60, ShowLinks: true})
+	if !strings.Contains(withLinks, "NVLink") {
+		t.Fatal("ShowLinks did not add link rows")
+	}
+}
+
+func TestTimelineDefaults(t *testing.T) {
+	st := simulated(t)
+	out := Timeline(st, Options{})
+	// Default width 80: rows are 80 cols between pipes.
+	for _, line := range strings.Split(out, "\n") {
+		if i := strings.IndexByte(line, '|'); i >= 0 {
+			j := strings.LastIndexByte(line, '|')
+			if j-i-1 != 80 {
+				t.Fatalf("row width = %d, want 80: %q", j-i-1, line)
+			}
+		}
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	st := simulated(t)
+	u := Utilization(st)
+	if len(u) != st.TG.Topo.NumDevices()+len(st.TG.Topo.Links) {
+		t.Fatalf("slots = %d", len(u))
+	}
+	anyBusy := false
+	for _, f := range u {
+		if f < 0 || f > 1 {
+			t.Fatalf("utilization out of range: %v", f)
+		}
+		if f > 0 {
+			anyBusy = true
+		}
+	}
+	if !anyBusy {
+		t.Fatal("no resource was busy")
+	}
+}
+
+func TestEmptyTimeline(t *testing.T) {
+	g := graph.New("empty")
+	x := g.Input4D("x", 2, 3, 4, 4)
+	c := g.Conv2D("c", x, 2, 1, 1, 1, 1, 0, 0)
+	topo := device.NewSingleNode(1, "P100")
+	s := config.NewStrategy(g)
+	s.Set(c.ID, config.OnDevice(c, 0))
+	tg := taskgraph.Build(g, topo, s, perfmodel.NewAnalyticModel(), taskgraph.Options{})
+	st := sim.NewState(tg)
+	// Not simulated: makespan 0.
+	if out := Timeline(st, Options{}); !strings.Contains(out, "empty") {
+		t.Fatalf("unsimulated state rendered: %q", out)
+	}
+	u := Utilization(st)
+	for _, f := range u {
+		if f != 0 {
+			t.Fatal("unsimulated utilization nonzero")
+		}
+	}
+}
