@@ -152,6 +152,67 @@ func BenchmarkFig14CaseNMT(b *testing.B) {
 	}
 }
 
+// --- Concurrent runtime benchmarks ------------------------------------
+
+// mcmcBenchInitials builds an 8-chain initial set (data parallelism plus
+// seeded random strategies) so the chain pool has enough independent
+// work to spread across cores.
+func mcmcBenchInitials(g *graph.Graph, topo *device.Topology) []*config.Strategy {
+	rng := rand.New(rand.NewSource(1))
+	initials := []*config.Strategy{config.DataParallel(g, topo)}
+	for len(initials) < 8 {
+		initials = append(initials, config.Random(g, topo, rng))
+	}
+	return initials
+}
+
+func benchMCMC(b *testing.B, workers int) {
+	g := benchGraph(b, "rnnlm", 8)
+	topo := device.NewSingleNode(4, "P100")
+	initials := mcmcBenchInitials(g, topo)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est := newEstimator()
+		opts := search.DefaultOptions()
+		opts.MaxIters = 60
+		opts.Workers = workers
+		search.MCMC(g, topo, est, initials, opts)
+	}
+}
+
+// BenchmarkMCMCSerial and BenchmarkMCMCParallel run the identical
+// 8-chain search with one worker vs all CPUs; the parallel run returns
+// bit-identical results (see search's determinism contract), so the
+// ratio of these two is pure speedup.
+func BenchmarkMCMCSerial(b *testing.B)   { benchMCMC(b, 1) }
+func BenchmarkMCMCParallel(b *testing.B) { benchMCMC(b, 0) }
+
+// BenchmarkExperimentsSuite runs a representative slice of the registry
+// (the per-data-point sweeps the harness fans out) serially vs across
+// the worker pool, tracking the suite-level speedup in the bench
+// trajectory. The optimality and case-study runners are excluded — their
+// cost is dominated by one exhaustive DFS and an 8x-budget search, which
+// BenchmarkMCMC* and the search package's own tests already cover.
+func BenchmarkExperimentsSuite(b *testing.B) {
+	ids := []string{"table1", "fig7", "fig8", "fig9", "fig11", "table4", "profiling"}
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			s := benchScale()
+			s.Workers = mode.workers
+			for i := 0; i < b.N; i++ {
+				for _, id := range ids {
+					if _, err := experiments.Run(id, s); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
 // --- Substrate micro-benchmarks ---------------------------------------
 
 // BenchmarkTaskGraphBuild measures BUILDTASKGRAPH (Algorithm 1 line 2).

@@ -7,8 +7,9 @@
 //
 //	experiments -list
 //	experiments -exp fig8
-//	experiments -exp all
+//	experiments -exp all               # every runner across the worker pool
 //	experiments -exp fig7 -full        # paper-scale (slow)
+//	experiments -exp all -workers 1    # serial (identical tables, more wall clock)
 package main
 
 import (
@@ -23,9 +24,10 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "", "experiment ID, or \"all\"")
-		list = flag.Bool("list", false, "list experiment IDs and exit")
-		full = flag.Bool("full", false, "paper-scale settings (slow); default is quick scale")
+		exp     = flag.String("exp", "", "experiment ID, or \"all\"")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		full    = flag.Bool("full", false, "paper-scale settings (slow); default is quick scale")
+		workers = flag.Int("workers", 0, "worker pool size for runners, data points and search chains (0 = all CPUs)")
 	)
 	flag.Parse()
 
@@ -44,6 +46,7 @@ func main() {
 	if *full {
 		scale = experiments.Full()
 	}
+	scale.Workers = *workers
 	start := time.Now()
 	tables, err := experiments.Run(*exp, scale)
 	if err != nil {

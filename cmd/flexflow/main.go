@@ -28,6 +28,7 @@ func main() {
 		iters    = flag.Int("iters", 1000, "MCMC proposals per initial strategy")
 		budget   = flag.Duration("budget", 30*time.Second, "wall-clock search budget per chain")
 		seed     = flag.Int64("seed", 1, "search seed")
+		workers  = flag.Int("workers", 0, "concurrent MCMC chains (0 = all CPUs; with -budget 0 results are identical for any value)")
 		verbose  = flag.Bool("verbose", false, "print the per-op configuration of the best strategy")
 		export   = flag.String("export", "", "write the best strategy to this JSON file")
 		importF  = flag.String("import", "", "evaluate a previously exported strategy instead of searching")
@@ -88,7 +89,7 @@ func main() {
 		fmt.Printf("imported strategy:  %-12v (from %s)\n", cost, *importF)
 	} else {
 		res = flexflow.Search(g, topo, flexflow.SearchOptions{
-			MaxIters: *iters, Budget: *budget, Seed: *seed, IncludeExpert: true,
+			MaxIters: *iters, Budget: *budget, Seed: *seed, Workers: *workers, IncludeExpert: true,
 		})
 		fmt.Printf("search: %d proposals in %v\n", res.Iters, res.SearchTime)
 	}

@@ -131,6 +131,14 @@ type SearchOptions struct {
 	// IncludeExpert adds the expert-designed strategy to the initial
 	// candidates alongside data parallelism and a random strategy.
 	IncludeExpert bool
+	// Workers bounds how many MCMC chains run concurrently (0 =
+	// NumCPU). Results are identical for every value: chain RNG seeds
+	// are derived up front from Seed, so with Budget == 0 the parallel
+	// search is bit-identical to the serial one.
+	Workers int
+	// Cancel, when non-nil, stops the search early once closed; the
+	// best strategy found so far is returned.
+	Cancel <-chan struct{}
 }
 
 // SearchResult is the outcome of the execution optimizer.
@@ -160,6 +168,8 @@ func Search(g *Graph, topo *Topology, o SearchOptions) SearchResult {
 	if o.Seed != 0 {
 		opts.Seed = o.Seed
 	}
+	opts.Workers = o.Workers
+	opts.Cancel = o.Cancel
 	res := search.MCMC(g, topo, NewEstimator(), search.Initials(g, topo, opts.Seed, o.IncludeExpert), opts)
 	return SearchResult{Best: res.Best, BestCost: res.BestCost, Iters: res.Iters, SearchTime: res.SearchTime}
 }

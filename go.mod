@@ -1,0 +1,3 @@
+module flexflow
+
+go 1.24

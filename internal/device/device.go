@@ -8,6 +8,8 @@ package device
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -120,9 +122,13 @@ type Topology struct {
 	adj map[int][]int // device ID -> link IDs
 
 	// paths caches the routed path for every ordered device pair
-	// (computed lazily by Route); key = src*len(Devices)+dst.
+	// (computed lazily by Route); key = src*len(Devices)+dst. The
+	// atomic flag plus mutex make the lazy build safe under the
+	// concurrent search runtime, where many chains share one topology;
+	// AddDevice/AddLink themselves are still single-goroutine only.
 	paths []Path
-	built bool
+	mu    sync.Mutex
+	built atomic.Bool
 }
 
 // NewTopology creates an empty topology with the given name.
@@ -134,7 +140,7 @@ func NewTopology(name string) *Topology {
 func (t *Topology) AddDevice(d Device) int {
 	d.ID = len(t.Devices)
 	t.Devices = append(t.Devices, d)
-	t.built = false
+	t.built.Store(false)
 	return d.ID
 }
 
@@ -147,7 +153,7 @@ func (t *Topology) AddLink(class LinkClass, a, b int, bwGBs float64, latency tim
 	t.Links = append(t.Links, l)
 	t.adj[a] = append(t.adj[a], l.ID)
 	t.adj[b] = append(t.adj[b], l.ID)
-	t.built = false
+	t.built.Store(false)
 	return l.ID
 }
 
@@ -243,14 +249,21 @@ func (t *Topology) buildRoutes() {
 			t.paths[i*n+j] = Path{Links: c.links, BottleneckLink: bottleneck, BWGBs: c.bw, Latency: c.lat}
 		}
 	}
-	t.built = true
+	t.built.Store(true)
 }
 
 // Route returns the routed path from device src to device dst. For
 // src == dst it returns a zero-cost loopback path with BottleneckLink -1.
+// Route is safe for concurrent use; the atomic publish of the route
+// table makes its one-time lazy construction race-free even when the
+// first queries come from parallel search chains.
 func (t *Topology) Route(src, dst int) Path {
-	if !t.built {
-		t.buildRoutes()
+	if !t.built.Load() {
+		t.mu.Lock()
+		if !t.built.Load() {
+			t.buildRoutes()
+		}
+		t.mu.Unlock()
 	}
 	return t.paths[src*len(t.Devices)+dst]
 }

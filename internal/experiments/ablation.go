@@ -29,6 +29,8 @@ func AblationSpace(scale Scale) *Table {
 	// The full SOAP space strictly contains the restricted spaces, so
 	// the SOAP run also receives the restricted winners as initial
 	// candidates — the structural guarantee that SOAP only adds options.
+	// That feed-forward of winners makes the loop inherently sequential;
+	// the parallelism here lives inside each MCMC call instead.
 	initials := []*config.Strategy{config.DataParallel(g, topo)}
 	for _, c := range []struct {
 		name  string
@@ -67,7 +69,11 @@ func AblationBeta(scale Scale) *Table {
 		Title:  "MCMC temperature sweep (Inception-v3, 4 P100 GPUs)",
 		Header: []string{"beta", "best-cost", "accept-rate"},
 	}
-	for _, beta := range []float64{1, 5, 15, 50, 1e6} {
+	// The sweep points are independent single-chain searches; fan them
+	// out across the pool into fixed row slots.
+	betas := []float64{1, 5, 15, 50, 1e6}
+	t.Rows = scale.rows(len(betas), func(i int) []string {
+		beta := betas[i]
 		est := estimator()
 		opts := scale.searchOpts()
 		opts.Beta = beta
@@ -76,8 +82,8 @@ func AblationBeta(scale Scale) *Table {
 		if res.Iters > 0 {
 			rate = float64(res.Accepted) / float64(res.Iters)
 		}
-		t.Rows = append(t.Rows, []string{fmt.Sprintf("%g", beta), ms(res.BestCost), f2(rate)})
-	}
+		return []string{fmt.Sprintf("%g", beta), ms(res.BestCost), f2(rate)}
+	})
 	t.Notes = append(t.Notes, "beta=1e6 is effectively greedy; low beta accepts most regressions")
 	return t
 }

@@ -4,6 +4,19 @@
 // returns a Table whose rows mirror what the paper plots. DESIGN.md maps
 // each experiment ID to the paper artifact; EXPERIMENTS.md records
 // paper-vs-measured outcomes.
+//
+// The harness is concurrent: Scale.Workers fans out the registry's
+// runners (under "all") and each experiment's independent data points —
+// Fig7's (model, cluster, gpus) cells, Fig11's (model, topology) cells,
+// Table4's (model, gpus) cells, and so on — over a worker pool, while
+// each cell's searches in turn parallelize their MCMC chains. Cells
+// write rows into fixed positions, so row order never depends on
+// scheduling, and with SearchBudget == 0 the tables are byte-identical
+// to the serial run (a wall-clock budget reintroduces time-based chain
+// stopping; see the search package's determinism contract). The only
+// experiments left serial are the ones that
+// measure wall-clock ratios between two timed runs (Fig12) or chain
+// results into the next cell's inputs (the search-space ablation).
 package experiments
 
 import (
@@ -15,6 +28,7 @@ import (
 	"flexflow/internal/device"
 	"flexflow/internal/graph"
 	"flexflow/internal/models"
+	"flexflow/internal/par"
 	"flexflow/internal/perfmodel"
 	"flexflow/internal/search"
 	"flexflow/internal/taskgraph"
@@ -80,6 +94,19 @@ type Scale struct {
 	SearchBudget time.Duration
 	// Seed drives all randomized components.
 	Seed int64
+	// Workers bounds concurrency everywhere the harness fans out: the
+	// registry's runners under Run("all"), each experiment's per-data-
+	// point loops, and the chains/subtrees inside each search (0 =
+	// NumCPU). The bound applies per fan-out level, not globally, so
+	// nested levels can multiply (runners x cells x chains) — Go's
+	// scheduler time-slices the surplus, which never changes results
+	// but does blur the wall-clock measurements the timing experiments
+	// report (a single shared pool is a ROADMAP item). Cells are
+	// computed into fixed row slots, so row order never depends on
+	// scheduling, and with SearchBudget == 0 the tables are identical
+	// for every Workers value (the searches are worker-count
+	// deterministic in the iteration-budgeted regime).
+	Workers int
 }
 
 // Quick is the default scale for tests, benches and demos.
@@ -118,7 +145,30 @@ func (s Scale) searchOpts() search.Options {
 	o.MaxIters = s.SearchIters
 	o.Budget = s.SearchBudget
 	o.Seed = s.Seed
+	o.Workers = s.Workers
 	return o
+}
+
+// forEach runs fn(i) for every cell index in [0, n) across the scale's
+// worker pool. Cells write rows positionally so table order never
+// depends on scheduling.
+func (s Scale) forEach(n int, fn func(i int)) {
+	par.ForEach(s.Workers, n, fn)
+}
+
+// rows computes n table rows across the worker pool, one cell per
+// index, and returns them in index order; a cell may return nil to
+// skip its row (e.g. a device count a cluster cannot provide).
+func (s Scale) rows(n int, cell func(i int) []string) [][]string {
+	out := make([][]string, n)
+	s.forEach(n, func(i int) { out[i] = cell(i) })
+	rows := out[:0]
+	for _, r := range out {
+		if r != nil {
+			rows = append(rows, r)
+		}
+	}
+	return rows
 }
 
 // estimator returns the shared performance model. A MeasuringEstimator

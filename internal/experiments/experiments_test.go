@@ -8,6 +8,9 @@ import (
 )
 
 // testScale is deliberately tiny so the whole suite runs in seconds.
+// Workers is left at its zero value (NumCPU): together with t.Parallel()
+// on every test this keeps the suite's wall clock near the single
+// slowest experiment rather than the sum of all of them.
 func testScale() Scale {
 	return Scale{
 		Name:         "test",
@@ -41,6 +44,7 @@ func cellFloat(t *testing.T, tab *Table, row int, col string) float64 {
 }
 
 func TestTable1MatchesPaper(t *testing.T) {
+	t.Parallel()
 	tab := Table1()
 	if len(tab.Rows) != 4 {
 		t.Fatalf("rows = %d", len(tab.Rows))
@@ -66,6 +70,7 @@ func TestTable1MatchesPaper(t *testing.T) {
 }
 
 func TestFig7Shape(t *testing.T) {
+	t.Parallel()
 	tab := Fig7(testScale(), []string{"rnnlm"}, []string{"P100"})
 	if len(tab.Rows) != 2 {
 		t.Fatalf("rows = %d", len(tab.Rows))
@@ -80,6 +85,7 @@ func TestFig7Shape(t *testing.T) {
 }
 
 func TestFig8Shape(t *testing.T) {
+	t.Parallel()
 	tab := Fig8(testScale(), 4)
 	if len(tab.Rows) != 3 {
 		t.Fatalf("rows = %d", len(tab.Rows))
@@ -96,6 +102,7 @@ func TestFig8Shape(t *testing.T) {
 }
 
 func TestFig9Shape(t *testing.T) {
+	t.Parallel()
 	tab := Fig9(testScale(), 4)
 	if len(tab.Rows) < 2 {
 		t.Fatalf("rows = %d", len(tab.Rows))
@@ -108,6 +115,7 @@ func TestFig9Shape(t *testing.T) {
 }
 
 func TestFig10aShape(t *testing.T) {
+	t.Parallel()
 	tab := Fig10a(testScale())
 	if len(tab.Rows) != 2 {
 		t.Fatalf("rows = %d", len(tab.Rows))
@@ -120,6 +128,7 @@ func TestFig10aShape(t *testing.T) {
 }
 
 func TestFig10bShape(t *testing.T) {
+	t.Parallel()
 	tab := Fig10b(testScale(), 4)
 	for i := range tab.Rows {
 		if sp := cellFloat(t, tab, i, "speedup"); sp < 1 {
@@ -129,6 +138,7 @@ func TestFig10bShape(t *testing.T) {
 }
 
 func TestFig11AccuracyBound(t *testing.T) {
+	t.Parallel()
 	tab := Fig11(testScale(), 4)
 	if len(tab.Rows) != 8 {
 		t.Fatalf("rows = %d", len(tab.Rows))
@@ -143,6 +153,10 @@ func TestFig11AccuracyBound(t *testing.T) {
 	}
 }
 
+// TestFig12AndTable4DeltaFaster asserts wall-clock ratios, so it is
+// deliberately NOT t.Parallel(): sequential tests run alone in this
+// binary (parallel ones are parked until they finish), keeping the
+// full-vs-delta timing windows comparable.
 func TestFig12AndTable4DeltaFaster(t *testing.T) {
 	s := testScale()
 	tab := Table4(s, []string{"rnntc"})
@@ -161,6 +175,10 @@ func TestFig12AndTable4DeltaFaster(t *testing.T) {
 }
 
 func TestGlobalOptimality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive DFS over ~1.7M leaves; skipped in -short")
+	}
+	t.Parallel()
 	tab := GlobalOptimality(testScale())
 	for i := range tab.Rows {
 		if got := cell(t, tab, i, "mcmc-found-optimum"); got != "true" {
@@ -170,6 +188,7 @@ func TestGlobalOptimality(t *testing.T) {
 }
 
 func TestLocalOptimality(t *testing.T) {
+	t.Parallel()
 	tab := LocalOptimality(testScale(), []string{"lenet"}, []int{2})
 	for i := range tab.Rows {
 		if got := cell(t, tab, i, "locally-optimal"); got != "true" {
@@ -179,18 +198,27 @@ func TestLocalOptimality(t *testing.T) {
 }
 
 func TestCaseStudies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("8x search budget per model; skipped in -short")
+	}
+	t.Parallel()
 	for _, model := range []string{"inception-v3", "nmt"} {
-		tab := CaseStudy(testScale(), model)
-		if len(tab.Rows) == 0 {
-			t.Fatalf("%s: empty case study", model)
-		}
-		if len(tab.Notes) < 3 {
-			t.Fatalf("%s: missing headline notes", model)
-		}
+		model := model
+		t.Run(model, func(t *testing.T) {
+			t.Parallel()
+			tab := CaseStudy(testScale(), model)
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s: empty case study", model)
+			}
+			if len(tab.Notes) < 3 {
+				t.Fatalf("%s: missing headline notes", model)
+			}
+		})
 	}
 }
 
 func TestProfilingReport(t *testing.T) {
+	t.Parallel()
 	tab := MeasuringCacheReport(testScale())
 	if len(tab.Rows) != 7 {
 		t.Fatalf("rows = %d", len(tab.Rows))
@@ -205,6 +233,7 @@ func TestProfilingReport(t *testing.T) {
 }
 
 func TestAblations(t *testing.T) {
+	t.Parallel()
 	s := testScale()
 	space := AblationSpace(s)
 	if len(space.Rows) != 3 {
@@ -232,6 +261,7 @@ func TestAblations(t *testing.T) {
 }
 
 func TestRegistry(t *testing.T) {
+	t.Parallel()
 	ids := IDs()
 	if len(ids) < 10 {
 		t.Fatalf("ids = %v", ids)
@@ -246,6 +276,7 @@ func TestRegistry(t *testing.T) {
 }
 
 func TestRenderAlignment(t *testing.T) {
+	t.Parallel()
 	tab := &Table{ID: "x", Title: "y", Header: []string{"a", "bb"}, Rows: [][]string{{"1", "2"}}, Notes: []string{"n"}}
 	out := tab.Render()
 	if !strings.Contains(out, "== x: y ==") || !strings.Contains(out, "note: n") {

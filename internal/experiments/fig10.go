@@ -25,7 +25,9 @@ func Fig10a(scale Scale) *Table {
 		Header: []string{"model", "reinforce(samples/s)", "flexflow(samples/s)", "speedup"},
 	}
 	topo := device.NewSingleNode(4, "K80")
-	for _, name := range []string{"inception-v3", "nmt"} {
+	names := []string{"inception-v3", "nmt"}
+	t.Rows = scale.rows(len(names), func(i int) []string {
+		name := names[i]
 		spec, _ := models.Get(name)
 		g := scale.build(spec)
 		batch := g.Ops[0].Out.Size(0)
@@ -49,10 +51,10 @@ func Fig10a(scale Scale) *Table {
 		}
 		rTput := throughput(batch, rres.BestCost, 1) // total samples/s across the node
 		fTput := throughput(batch, ffTime, 1)
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			name, f1(rTput), f1(fTput), f2(float64(rres.BestCost) / float64(ffTime)),
-		})
-	}
+		}
+	})
 	t.Notes = append(t.Notes, "paper: FlexFlow 3.4-3.8x over REINFORCE; search 14-40s vs 12-27h")
 	return t
 }
@@ -77,7 +79,9 @@ func Fig10b(scale Scale, gpus int) *Table {
 		Header: []string{"model", "linear-graph", "optcnn(samples/s)", "flexflow(samples/s)", "speedup"},
 	}
 	topo := device.ClusterFor("P100", gpus)
-	for _, name := range []string{"inception-v3", "rnntc", "rnnlm", "nmt"} {
+	names := []string{"inception-v3", "rnntc", "rnnlm", "nmt"}
+	t.Rows = scale.rows(len(names), func(i int) []string {
+		name := names[i]
 		spec, _ := models.Get(name)
 		g := scale.build(spec)
 		batch := g.Ops[0].Out.Size(0)
@@ -94,12 +98,12 @@ func Fig10b(scale Scale, gpus int) *Table {
 			res := search.MCMC(g, topo, est, []*config.Strategy{ocStrat}, scale.searchOpts())
 			ffTime = res.BestCost
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			name, fmt.Sprintf("%v", g.IsLinear()),
 			f1(throughput(batch, ocTime, 1)), f1(throughput(batch, ffTime, 1)),
 			f2(float64(ocTime) / float64(ffTime)),
-		})
-	}
+		}
+	})
 	t.Notes = append(t.Notes, "paper: same strategies on AlexNet/ResNet; 1.2-1.6x on non-linear graphs")
 	return t
 }

@@ -8,6 +8,7 @@ import (
 
 	"flexflow/internal/config"
 	"flexflow/internal/device"
+	"flexflow/internal/graph"
 	"flexflow/internal/models"
 	"flexflow/internal/perfmodel"
 	"flexflow/internal/runtime"
@@ -42,43 +43,65 @@ func Fig11(scale Scale, strategiesPerPoint int) *Table {
 		{"4xK80(1 node)", device.NewSingleNode(4, "K80")},
 		{"16xK80(4 nodes)", device.NewK80Cluster(4)},
 	}
-	worstOverall := 0.0
+	// One cell per (model, topology) point, fanned out across the
+	// worker pool. Each cell seeds its own RNG from the scale seed, so
+	// the strategies sampled per cell are the same in any order; the
+	// topologies are shared across cells but only read (Route's lazy
+	// build is race-safe).
+	type cell struct {
+		model    string
+		g        *graph.Graph
+		topoName string
+		topo     *device.Topology
+	}
+	var cells []cell
 	for _, name := range []string{"inception-v3", "nmt"} {
 		spec, _ := models.Get(name)
 		g := scale.build(spec)
 		for _, tp := range topos {
-			est := estimator()
-			rng := rand.New(rand.NewSource(scale.Seed))
-			var simT, realT []float64
-			strats := []*config.Strategy{
-				config.DataParallel(g, tp.topo),
-				config.Expert(g, tp.topo),
+			cells = append(cells, cell{name, g, tp.name, tp.topo})
+		}
+	}
+	rows := make([][]string, len(cells))
+	worstPer := make([]float64, len(cells))
+	scale.forEach(len(cells), func(i int) {
+		c := cells[i]
+		est := estimator()
+		rng := rand.New(rand.NewSource(scale.Seed))
+		var simT, realT []float64
+		strats := []*config.Strategy{
+			config.DataParallel(c.g, c.topo),
+			config.Expert(c.g, c.topo),
+		}
+		for len(strats) < strategiesPerPoint {
+			strats = append(strats, config.Random(c.g, c.topo, rng))
+		}
+		var worst, sum float64
+		for _, s := range strats {
+			tg := taskgraph.Build(c.g, c.topo, s, est, taskgraph.Options{})
+			simulated := sim.NewState(tg).Simulate()
+			real, _ := runtime.Measure(tg, runtime.DefaultOptions(scale.Seed), 3)
+			rel := relErr(simulated, real)
+			if rel > worst {
+				worst = rel
 			}
-			for len(strats) < strategiesPerPoint {
-				strats = append(strats, config.Random(g, tp.topo, rng))
-			}
-			var worst, sum float64
-			for _, s := range strats {
-				tg := taskgraph.Build(g, tp.topo, s, est, taskgraph.Options{})
-				simulated := sim.NewState(tg).Simulate()
-				real, _ := runtime.Measure(tg, runtime.DefaultOptions(scale.Seed), 3)
-				rel := relErr(simulated, real)
-				if rel > worst {
-					worst = rel
-				}
-				sum += rel
-				simT = append(simT, simulated.Seconds())
-				realT = append(realT, real.Seconds())
-			}
-			if worst > worstOverall {
-				worstOverall = worst
-			}
-			t.Rows = append(t.Rows, []string{
-				name, tp.name, fmt.Sprintf("%d", len(strats)),
-				fmt.Sprintf("%.1f%%", worst*100),
-				fmt.Sprintf("%.1f%%", sum/float64(len(strats))*100),
-				f2(kendallTau(simT, realT)),
-			})
+			sum += rel
+			simT = append(simT, simulated.Seconds())
+			realT = append(realT, real.Seconds())
+		}
+		worstPer[i] = worst
+		rows[i] = []string{
+			c.model, c.topoName, fmt.Sprintf("%d", len(strats)),
+			fmt.Sprintf("%.1f%%", worst*100),
+			fmt.Sprintf("%.1f%%", sum/float64(len(strats))*100),
+			f2(kendallTau(simT, realT)),
+		}
+	})
+	worstOverall := 0.0
+	for i, r := range rows {
+		t.Rows = append(t.Rows, r)
+		if worstPer[i] > worstOverall {
+			worstOverall = worstPer[i]
 		}
 	}
 	t.Notes = append(t.Notes,

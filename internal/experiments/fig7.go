@@ -5,6 +5,7 @@ import (
 
 	"flexflow/internal/config"
 	"flexflow/internal/device"
+	"flexflow/internal/graph"
 	"flexflow/internal/models"
 )
 
@@ -31,6 +32,17 @@ func Fig7(scale Scale, modelNames []string, clusters []string) *Table {
 	if len(clusters) == 0 {
 		clusters = []string{"P100", "K80"}
 	}
+	// One cell per (model, cluster, gpus) point; cells are independent,
+	// so they run across the scale's worker pool and land in fixed row
+	// slots.
+	type cell struct {
+		name    string
+		g       *graph.Graph
+		batch   int
+		cluster string
+		n       int
+	}
+	var cells []cell
 	for _, name := range modelNames {
 		spec, err := models.Get(name)
 		if err != nil {
@@ -40,27 +52,31 @@ func Fig7(scale Scale, modelNames []string, clusters []string) *Table {
 		batch := g.Ops[0].Out.Size(0)
 		for _, cluster := range clusters {
 			for _, n := range scale.DeviceCounts {
-				topo := device.ClusterFor(cluster, n)
-				// Restrict to the first n GPUs on multi-node clusters
-				// whose node count rounds up.
-				if len(topo.GPUs()) < n {
-					continue
-				}
-				est := estimator()
-				dpTime, _ := evaluate(g, topo, est, config.DataParallel(g, topo))
-				exTime, _ := evaluate(g, topo, est, config.Expert(g, topo))
-				_, ffTime, _ := flexflowStrategy(g, topo, est, scale)
-
-				t.Rows = append(t.Rows, []string{
-					name, cluster, fmt.Sprintf("%d", n),
-					f1(throughput(batch, dpTime, n)),
-					f1(throughput(batch, exTime, n)),
-					f1(throughput(batch, ffTime, n)),
-					f2(float64(dpTime) / float64(ffTime)),
-				})
+				cells = append(cells, cell{name, g, batch, cluster, n})
 			}
 		}
 	}
+	t.Rows = scale.rows(len(cells), func(i int) []string {
+		c := cells[i]
+		topo := device.ClusterFor(c.cluster, c.n)
+		// Restrict to the first n GPUs on multi-node clusters whose
+		// node count rounds up.
+		if len(topo.GPUs()) < c.n {
+			return nil
+		}
+		est := estimator()
+		dpTime, _ := evaluate(c.g, topo, est, config.DataParallel(c.g, topo))
+		exTime, _ := evaluate(c.g, topo, est, config.Expert(c.g, topo))
+		_, ffTime, _ := flexflowStrategy(c.g, topo, est, scale)
+
+		return []string{
+			c.name, c.cluster, fmt.Sprintf("%d", c.n),
+			f1(throughput(c.batch, dpTime, c.n)),
+			f1(throughput(c.batch, exTime, c.n)),
+			f1(throughput(c.batch, ffTime, c.n)),
+			f2(float64(dpTime) / float64(ffTime)),
+		}
+	})
 	t.Notes = append(t.Notes,
 		"dashed 'ideal' lines of the paper correspond to constant samples/sec/GPU",
 		fmt.Sprintf("scale=%s (model factor %d, search iters %d)", scale.Name, scale.ModelFactor, scale.SearchIters))

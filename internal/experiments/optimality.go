@@ -28,26 +28,32 @@ func GlobalOptimality(scale Scale) *Table {
 		{"lenet", func() *graph.Graph { return models.LeNet(16) }},
 		{"rnnlm-2step", func() *graph.Graph { return models.RNNLM(16, 2) }},
 	}
-	for _, c := range cases {
+	// The exhaustive DFS dominates this experiment by orders of
+	// magnitude, so the parallelism goes inside it (Workers on
+	// ExhaustiveOptions) rather than across the two cases.
+	rows := make([][]string, len(cases))
+	for i, c := range cases {
 		g := c.graph()
 		est := estimator()
 		ex := search.Exhaustive(g, topo, est, search.ExhaustiveOptions{
 			Enum:               enumForScale(scale, topo),
 			MaxCandidatesPerOp: 6,
+			Workers:            scale.Workers,
 		})
 		opts := scale.searchOpts()
 		opts.MaxIters = 4000
 		res := search.MCMC(g, topo, est, search.Initials(g, topo, scale.Seed, false), opts)
 		found := res.BestCost <= ex.BestCost
-		t.Rows = append(t.Rows, []string{
+		rows[i] = []string{
 			c.name,
 			fmt.Sprintf("%.2e", ex.SpaceSize),
 			fmt.Sprintf("%d", ex.Explored),
 			fmt.Sprintf("%d", ex.Pruned),
 			ms(ex.BestCost), ms(res.BestCost),
 			fmt.Sprintf("%v", found),
-		})
+		}
 	}
+	t.Rows = append(t.Rows, rows...)
 	t.Notes = append(t.Notes,
 		"the exhaustive space is restricted to 6 canonical candidates per op (the paper restricted to ~1e11 strategies)",
 		"mcmc-found-optimum means MCMC matched or beat the restricted-space optimum")
@@ -70,6 +76,13 @@ func LocalOptimality(scale Scale, modelNames []string, deviceCounts []int) *Tabl
 	if len(deviceCounts) == 0 {
 		deviceCounts = []int{2, 4}
 	}
+	// One cell per (model, gpus) point, fanned out across the pool.
+	type cell struct {
+		name string
+		g    *graph.Graph
+		n    int
+	}
+	var cells []cell
 	for _, name := range modelNames {
 		spec, err := models.Get(name)
 		if err != nil {
@@ -77,26 +90,30 @@ func LocalOptimality(scale Scale, modelNames []string, deviceCounts []int) *Tabl
 		}
 		g := scale.build(spec)
 		for _, n := range deviceCounts {
-			topo := device.NewSingleNode(n, "P100")
-			est := estimator()
-			opts := scale.searchOpts()
-			opts.MaxIters = 3000
-			res := search.MCMC(g, topo, est, search.Initials(g, topo, scale.Seed, true), opts)
-			// The optimizer finishes with a local-descent pass (see
-			// search.Polish), so the returned strategy is locally
-			// optimal by construction; verify it anyway.
-			polished, polishedCost := search.Polish(g, topo, est, res.Best, enumForScale(scale, topo), taskgraph.Options{}, 0)
-			if polishedCost < res.BestCost {
-				res.Best, res.BestCost = polished, polishedCost
-			}
-			best, improving, checked := search.Neighborhood(g, topo, est, res.Best, enumForScale(scale, topo), taskgraph.Options{})
-			locallyOpt := improving == nil || best >= res.BestCost
-			t.Rows = append(t.Rows, []string{
-				name, fmt.Sprintf("%d", n), ms(res.BestCost),
-				fmt.Sprintf("%d", checked), fmt.Sprintf("%v", locallyOpt),
-			})
+			cells = append(cells, cell{name, g, n})
 		}
 	}
+	t.Rows = scale.rows(len(cells), func(i int) []string {
+		c := cells[i]
+		topo := device.NewSingleNode(c.n, "P100")
+		est := estimator()
+		opts := scale.searchOpts()
+		opts.MaxIters = 3000
+		res := search.MCMC(c.g, topo, est, search.Initials(c.g, topo, scale.Seed, true), opts)
+		// The optimizer finishes with a local-descent pass (see
+		// search.Polish), so the returned strategy is locally
+		// optimal by construction; verify it anyway.
+		polished, polishedCost := search.Polish(c.g, topo, est, res.Best, enumForScale(scale, topo), taskgraph.Options{}, 0)
+		if polishedCost < res.BestCost {
+			res.Best, res.BestCost = polished, polishedCost
+		}
+		best, improving, checked := search.Neighborhood(c.g, topo, est, res.Best, enumForScale(scale, topo), taskgraph.Options{})
+		locallyOpt := improving == nil || best >= res.BestCost
+		return []string{
+			c.name, fmt.Sprintf("%d", c.n), ms(res.BestCost),
+			fmt.Sprintf("%d", checked), fmt.Sprintf("%v", locallyOpt),
+		}
+	})
 	t.Notes = append(t.Notes, "paper: all returned strategies were locally optimal on 2/4/8 devices")
 	return t
 }

@@ -6,6 +6,7 @@ import (
 
 	"flexflow/internal/config"
 	"flexflow/internal/device"
+	"flexflow/internal/graph"
 	"flexflow/internal/models"
 	"flexflow/internal/search"
 )
@@ -17,6 +18,9 @@ import (
 // Shape to match: both converge to comparable strategies, but the delta
 // curve drops much earlier because each proposal costs a fraction of a
 // full re-simulation.
+//
+// The two runs stay strictly sequential: the experiment's subject is
+// their wall-clock ratio, which running them concurrently would skew.
 func Fig12(scale Scale, gpus int) *Table {
 	if gpus == 0 {
 		gpus = 16
@@ -74,6 +78,16 @@ func Table4(scale Scale, modelNames []string) *Table {
 			modelNames = append(modelNames, spec.Name)
 		}
 	}
+	// One cell per (model, gpus) point, fanned out across the worker
+	// pool. The full-vs-delta pair inside a cell runs back to back on
+	// one goroutine so contention from sibling cells skews both sides
+	// of the ratio alike.
+	type cell struct {
+		name string
+		g    *graph.Graph
+		n    int
+	}
+	var cells []cell
 	for _, name := range modelNames {
 		spec, err := models.Get(name)
 		if err != nil {
@@ -84,25 +98,29 @@ func Table4(scale Scale, modelNames []string) *Table {
 			if n < 2 {
 				continue
 			}
-			topo := device.ClusterFor("P100", n)
-			timeFor := func(full bool) time.Duration {
-				est := estimator()
-				opts := scale.searchOpts()
-				opts.FullSim = full
-				opts.Budget = 0 // measure a fixed proposal budget
-				res := search.MCMC(g, topo, est, []*config.Strategy{config.DataParallel(g, topo)}, opts)
-				return res.SearchTime
-			}
-			fullT := timeFor(true)
-			deltaT := timeFor(false)
-			t.Rows = append(t.Rows, []string{
-				name, fmt.Sprintf("%d", n),
-				fmt.Sprintf("%.3f", fullT.Seconds()),
-				fmt.Sprintf("%.3f", deltaT.Seconds()),
-				f2(float64(fullT) / float64(deltaT)),
-			})
+			cells = append(cells, cell{name, g, n})
 		}
 	}
+	t.Rows = scale.rows(len(cells), func(i int) []string {
+		c := cells[i]
+		topo := device.ClusterFor("P100", c.n)
+		timeFor := func(full bool) time.Duration {
+			est := estimator()
+			opts := scale.searchOpts()
+			opts.FullSim = full
+			opts.Budget = 0 // measure a fixed proposal budget
+			res := search.MCMC(c.g, topo, est, []*config.Strategy{config.DataParallel(c.g, topo)}, opts)
+			return res.SearchTime
+		}
+		fullT := timeFor(true)
+		deltaT := timeFor(false)
+		return []string{
+			c.name, fmt.Sprintf("%d", c.n),
+			fmt.Sprintf("%.3f", fullT.Seconds()),
+			fmt.Sprintf("%.3f", deltaT.Seconds()),
+			f2(float64(fullT) / float64(deltaT)),
+		}
+	})
 	t.Notes = append(t.Notes, "paper: delta 2.2-6.9x faster, speedup grows with device count")
 	return t
 }

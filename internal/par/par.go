@@ -1,0 +1,68 @@
+// Package par is the worker-pool primitive used by the concurrent
+// search runtime and the experiments harness. It deliberately exposes
+// only index-based fan-out: callers hand out work by index and write
+// results by index, so the concurrency never reorders anything — the
+// shape every deterministic parallel loop in this repo follows.
+//
+// Each ForEach call spins up its own pool; nested calls therefore
+// multiply rather than share a global limit (acceptable here because
+// the goroutines are CPU-bound and the scheduler time-slices them; a
+// single shared pool is a ROADMAP item).
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count knob: values > 0 are used as-is,
+// anything else (the zero value of an Options field) defaults to
+// runtime.NumCPU().
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// ForEach runs fn(i) for every i in [0, n) across at most workers
+// goroutines (workers <= 0 means runtime.NumCPU()). Indices are handed
+// out in increasing order; fn must be safe to call concurrently and
+// should communicate results positionally (results[i] = ...), never by
+// appending to shared state. ForEach returns after every call finished.
+//
+// With workers == 1 (or n == 1) the loop runs on the calling goroutine
+// with no synchronization at all, so a serial configuration behaves
+// exactly like a plain for loop.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

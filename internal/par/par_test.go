@@ -1,0 +1,68 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersDefault(t *testing.T) {
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Fatal("non-positive knob must default to at least one worker")
+	}
+	if Workers(7) != 7 {
+		t.Fatalf("Workers(7) = %d", Workers(7))
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16, 0} {
+		const n = 1000
+		counts := make([]int32, n)
+		ForEach(workers, n, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmptyAndSingleton(t *testing.T) {
+	ForEach(4, 0, func(i int) { t.Fatal("fn called for n=0") })
+	ran := false
+	ForEach(8, 1, func(i int) { ran = true })
+	if !ran {
+		t.Fatal("fn not called for n=1")
+	}
+}
+
+func TestForEachSerialRunsInOrderOnCaller(t *testing.T) {
+	var order []int
+	ForEach(1, 5, func(i int) { order = append(order, i) }) // no locking: must be the caller's goroutine
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order = %v", order)
+		}
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak int32
+	var mu sync.Mutex
+	ForEach(workers, 64, func(i int) {
+		v := atomic.AddInt32(&cur, 1)
+		mu.Lock()
+		if v > peak {
+			peak = v
+		}
+		mu.Unlock()
+		atomic.AddInt32(&cur, -1)
+	})
+	if peak > workers {
+		t.Fatalf("observed %d concurrent iterations with %d workers", peak, workers)
+	}
+}

@@ -1,11 +1,14 @@
 package search
 
 import (
+	"math"
+	"sync/atomic"
 	"time"
 
 	"flexflow/internal/config"
 	"flexflow/internal/device"
 	"flexflow/internal/graph"
+	"flexflow/internal/par"
 	"flexflow/internal/perfmodel"
 	"flexflow/internal/sim"
 	"flexflow/internal/taskgraph"
@@ -21,6 +24,10 @@ type ExhaustiveOptions struct {
 	MaxCandidatesPerOp int
 	// TaskOpts are forwarded to the task-graph builder.
 	TaskOpts taskgraph.Options
+	// Workers bounds how many DFS subtrees run concurrently (0 =
+	// NumCPU). The optimum cost is identical for every value; see the
+	// package comment for what stays deterministic.
+	Workers int
 }
 
 // ExhaustiveResult reports the global optimum found.
@@ -38,6 +45,16 @@ type ExhaustiveResult struct {
 // through at least one task of each op, so the makespan is at least the
 // sum over ops of their fastest task's execution time. Prefix costs use
 // the chosen configs, remainder costs the per-op minimum.
+//
+// The tree is split at the first few levels into independent subtrees
+// executed across Options.Workers goroutines. Every worker owns its DFS
+// scratch (strategy, chosen indices) and they share only the atomic
+// pruning bound; since the bound is always the cost of a strategy some
+// worker actually simulated, pruning against it can never cut a strictly
+// better leaf, so BestCost equals the serial optimum for every worker
+// count. Explored/Pruned counts (and tie-breaking between equal-cost
+// optima) depend on how quickly the bound propagates and are therefore
+// scheduling-dependent when Workers > 1.
 func Exhaustive(g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, opts ExhaustiveOptions) ExhaustiveResult {
 	ops := g.ComputeOps()
 	candidates := make([][]*config.Config, len(ops))
@@ -66,35 +83,117 @@ func Exhaustive(g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, 
 	}
 
 	res := ExhaustiveResult{SpaceSize: space, BestCost: 1<<62 - 1}
-	chosen := make([]int, len(ops))
-	strat := config.NewStrategy(g)
+	if len(ops) == 0 {
+		// Degenerate space: the single (empty) strategy is the optimum,
+		// exactly as the serial DFS's immediate depth==0 leaf was.
+		res.Best = config.NewStrategy(g)
+		tg := taskgraph.Build(g, topo, res.Best.Clone(), est, opts.TaskOpts)
+		res.BestCost = sim.NewState(tg).Simulate()
+		res.Explored = 1
+		return res
+	}
+	if topo.NumDevices() > 0 {
+		topo.Route(0, 0) // force the lazy route build before fanning out
+	}
 
-	var dfs func(depth int, prefixLB time.Duration)
-	dfs = func(depth int, prefixLB time.Duration) {
-		if depth == len(ops) {
-			for i, op := range ops {
-				strat.Set(op.ID, candidates[i][chosen[i]])
-			}
-			tg := taskgraph.Build(g, topo, strat, est, opts.TaskOpts)
-			cost := sim.NewState(tg).Simulate()
-			res.Explored++
-			if cost < res.BestCost {
-				res.BestCost = cost
-				res.Best = strat.Clone()
-			}
+	// Split the first levels of the tree into enough prefixes to keep
+	// the pool busy (subtree sizes under pruning are wildly uneven, so
+	// oversubscribe by ~8x for load balance).
+	workers := par.Workers(opts.Workers)
+	splitDepth := 0
+	prefixCount := 1
+	for splitDepth < len(ops) && prefixCount < workers*8 {
+		prefixCount *= len(candidates[splitDepth])
+		splitDepth++
+	}
+	prefixes := make([][]int, 0, prefixCount)
+	var enum func(depth int, prefix []int)
+	enum = func(depth int, prefix []int) {
+		if depth == splitDepth {
+			prefixes = append(prefixes, append([]int(nil), prefix...))
 			return
 		}
 		for j := range candidates[depth] {
-			lb := prefixLB + minTask[depth][j] + suffix[depth+1]
-			if lb >= res.BestCost {
-				res.Pruned++
-				continue
-			}
-			chosen[depth] = j
-			dfs(depth+1, prefixLB+minTask[depth][j])
+			enum(depth+1, append(prefix, j))
 		}
 	}
-	dfs(0, 0)
+	enum(0, nil)
+
+	// The shared admissible bound plus work counters.
+	var bound atomic.Int64
+	bound.Store(int64(res.BestCost))
+	var explored, pruned atomic.Int64
+
+	type subtreeBest struct {
+		cost  time.Duration
+		strat *config.Strategy
+	}
+	bests := make([]subtreeBest, len(prefixes))
+
+	par.ForEach(opts.Workers, len(prefixes), func(pi int) {
+		chosen := make([]int, len(ops))
+		strat := config.NewStrategy(g)
+		local := subtreeBest{cost: math.MaxInt64}
+
+		var dfs func(depth int, prefixLB time.Duration)
+		dfs = func(depth int, prefixLB time.Duration) {
+			if depth == len(ops) {
+				for i, op := range ops {
+					strat.Set(op.ID, candidates[i][chosen[i]])
+				}
+				tg := taskgraph.Build(g, topo, strat, est, opts.TaskOpts)
+				cost := sim.NewState(tg).Simulate()
+				explored.Add(1)
+				if cost < local.cost {
+					local.cost = cost
+					local.strat = strat.Clone()
+				}
+				for {
+					cur := bound.Load()
+					if int64(cost) >= cur || bound.CompareAndSwap(cur, int64(cost)) {
+						break
+					}
+				}
+				return
+			}
+			for j := range candidates[depth] {
+				lb := prefixLB + minTask[depth][j] + suffix[depth+1]
+				if int64(lb) >= bound.Load() {
+					pruned.Add(1)
+					continue
+				}
+				chosen[depth] = j
+				dfs(depth+1, prefixLB+minTask[depth][j])
+			}
+		}
+
+		var prefixLB time.Duration
+		for d, j := range prefixes[pi] {
+			chosen[d] = j
+			prefixLB += minTask[d][j]
+		}
+		if int64(prefixLB+suffix[splitDepth]) >= bound.Load() {
+			pruned.Add(1)
+			return
+		}
+		dfs(splitDepth, prefixLB)
+		bests[pi] = local
+	})
+
+	// Merge per-subtree optima in prefix (lexicographic DFS) order.
+	// This fixes the merge side of tie-breaking, but equal-cost optima
+	// can still land differently than the serial scan: the shared bound
+	// may prune an equal-cost leaf (lb == bound) that serial would have
+	// visited first, so only BestCost — not Best — is worker-count
+	// independent (as the package comment states).
+	for _, b := range bests {
+		if b.strat != nil && b.cost < res.BestCost {
+			res.BestCost = b.cost
+			res.Best = b.strat
+		}
+	}
+	res.Explored = explored.Load()
+	res.Pruned = pruned.Load()
 	return res
 }
 

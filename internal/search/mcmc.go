@@ -4,17 +4,41 @@
 // the paper evaluates against: exhaustive DFS with admissible pruning
 // (Section 8.4), a local-optimality checker, the OptCNN dynamic program,
 // and a REINFORCE-style device-placement learner.
+//
+// # Concurrency and determinism
+//
+// MCMC runs its independent chains (one per initial strategy, Section
+// 8.1) across a worker pool sized by Options.Workers. Each chain owns
+// its task graph and sim.State outright — simulator state is never
+// shared between goroutines — and draws from a private RNG whose seed is
+// derived up front from Options.Seed and the chain index, so the random
+// walk of chain i is one fixed sequence no matter how many workers
+// execute the pool or in which order chains are scheduled.
+//
+// The determinism contract: with Budget == 0 and Cancel == nil the
+// result (Best, BestCost, Iters, Accepted, SimStats) is bit-identical
+// for every Workers value, including 1. A wall-clock Budget reintroduces
+// time-based stopping (the paper's "no improvement for half the search
+// time" criterion, evaluated against the shared best-so-far of all
+// chains), so budgeted runs remain seed-reproducible per proposal stream
+// but may cut chains at different iteration counts run to run.
+//
+// Exhaustive fans its pruned DFS out over the same pool; BestCost stays
+// deterministic (the shared bound only ever prunes subtrees that cannot
+// beat it) while Explored/Pruned become scheduling-dependent.
 package search
 
 import (
 	"math"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"flexflow/internal/config"
 	"flexflow/internal/device"
 	"flexflow/internal/graph"
 	"flexflow/internal/memory"
+	"flexflow/internal/par"
 	"flexflow/internal/perfmodel"
 	"flexflow/internal/sim"
 	"flexflow/internal/taskgraph"
@@ -77,6 +101,15 @@ type Options struct {
 	// MemoryModel configures the footprint accounting when MemoryCheck
 	// is set (zero value = plain SGD training).
 	MemoryModel memory.Model
+	// Workers bounds how many chains run concurrently (0 = NumCPU).
+	// Results are identical for every value; see the package comment
+	// for the determinism contract.
+	Workers int
+	// Cancel, when non-nil, stops the search early once closed: every
+	// chain finishes its current proposal and returns, and MCMC reports
+	// the best strategy found so far. Combined with Budget this gives a
+	// cancellable time budget.
+	Cancel <-chan struct{}
 }
 
 // DefaultOptions returns the configuration used by the experiments.
@@ -103,10 +136,62 @@ type Result struct {
 	SimStats   sim.Stats
 }
 
-// MCMC explores the SOAP space from each initial strategy and returns
-// the best strategy discovered overall. Each chain ends when its
-// iteration or time budget is exhausted, or when it has not improved for
-// half of its elapsed search time (the paper's stopping criterion).
+// chainSeed derives the RNG seed of chain i from the master seed with a
+// splitmix64 finalizer, giving every chain a decorrelated stream that
+// depends only on (Seed, i) — never on how many chains ran before it or
+// on the worker count.
+func chainSeed(master int64, chain int) int64 {
+	z := uint64(master) + (uint64(chain)+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// progress is the cross-chain shared state: the best cost any chain has
+// reached and when it was reached, both atomics so chains publish and
+// observe global improvements without locks. It only feeds the
+// wall-clock stopping criterion (active when Budget > 0), so it never
+// perturbs the deterministic iteration-budgeted walk.
+type progress struct {
+	start   time.Time
+	best    atomic.Int64 // lowest cost found by any chain, in ns
+	improve atomic.Int64 // time of the latest global improvement, ns since start
+}
+
+func newProgress(start time.Time) *progress {
+	p := &progress{start: start}
+	p.best.Store(math.MaxInt64)
+	return p
+}
+
+// record publishes a chain's new best cost, timestamping the improvement
+// if it beats the global best.
+func (p *progress) record(cost time.Duration) {
+	for {
+		cur := p.best.Load()
+		if int64(cost) >= cur {
+			return
+		}
+		if p.best.CompareAndSwap(cur, int64(cost)) {
+			p.improve.Store(int64(time.Since(p.start)))
+			return
+		}
+	}
+}
+
+// sinceImprove reports how long ago any chain last improved the global
+// best.
+func (p *progress) sinceImprove() time.Duration {
+	return time.Since(p.start) - time.Duration(p.improve.Load())
+}
+
+// MCMC explores the SOAP space from each initial strategy — one chain
+// per initial, run across Options.Workers goroutines — and returns the
+// best strategy discovered overall. Each chain ends when its iteration
+// or time budget is exhausted, when Options.Cancel is closed, or when
+// neither it nor any sibling chain has improved the shared best-so-far
+// for half of its elapsed search time (the paper's stopping criterion,
+// applied against global progress).
 func MCMC(g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, initials []*config.Strategy, opts Options) Result {
 	if opts.Beta == 0 {
 		opts.Beta = DefaultOptions().Beta
@@ -114,15 +199,25 @@ func MCMC(g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, initia
 	if opts.MaxIters == 0 {
 		opts.MaxIters = DefaultOptions().MaxIters
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
 	start := time.Now()
-	var best Result
-	for i, init := range initials {
-		r := runChain(g, topo, est, init, opts, rng, start)
-		if i == 0 {
-			best = r
-			continue
-		}
+	if len(initials) == 0 {
+		return Result{SearchTime: time.Since(start)}
+	}
+	// Force the lazy route-table build before fanning out so chains only
+	// ever read the topology.
+	if topo.NumDevices() > 0 {
+		topo.Route(0, 0)
+	}
+	shared := newProgress(start)
+	results := make([]Result, len(initials))
+	par.ForEach(opts.Workers, len(initials), func(i int) {
+		rng := rand.New(rand.NewSource(chainSeed(opts.Seed, i)))
+		results[i] = runChain(g, topo, est, initials[i], opts, rng, start, shared)
+	})
+	// Merge in chain-index order, so ties between chains resolve the
+	// same way no matter which worker finished first.
+	best := results[0]
+	for _, r := range results[1:] {
 		best.Trace = append(best.Trace, r.Trace...)
 		best.Iters += r.Iters
 		best.Accepted += r.Accepted
@@ -138,7 +233,7 @@ func MCMC(g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, initia
 	return best
 }
 
-func runChain(g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, init *config.Strategy, opts Options, rng *rand.Rand, globalStart time.Time) Result {
+func runChain(g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, init *config.Strategy, opts Options, rng *rand.Rand, globalStart time.Time, shared *progress) Result {
 	chainStart := time.Now()
 	cur := init.Clone()
 	// Delta mode keeps one task graph + timeline alive across proposals;
@@ -153,6 +248,7 @@ func runChain(g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, in
 		BestCost: cost,
 		Trace:    []TracePoint{{Iter: 0, Elapsed: time.Since(globalStart), BestCost: cost}},
 	}
+	shared.record(cost)
 	ops := g.ComputeOps()
 	allowed := opts.Space.allowed()
 	lastImprove := time.Now()
@@ -200,17 +296,33 @@ func runChain(g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, in
 	}
 
 	for it := 1; it <= opts.MaxIters; it++ {
+		if opts.Cancel != nil {
+			select {
+			case <-opts.Cancel:
+				res.SimStats = st.Stats
+				res.SearchTime = time.Since(chainStart)
+				return res
+			default:
+			}
+		}
 		elapsed := time.Since(chainStart)
 		if opts.Budget > 0 && elapsed > opts.Budget {
 			break
 		}
 		// Criterion 2 of Section 6.2: stop when the best strategy has
-		// not improved for half of the search time. The criterion is
-		// defined relative to the time budget, so it only applies when
-		// one is set; iteration-budgeted runs (e.g. the Table 4 timing
-		// comparison) execute their full proposal count.
-		if opts.Budget > 0 {
-			if sinceImprove := time.Since(lastImprove); elapsed > 100*time.Millisecond && sinceImprove > elapsed/2 {
+		// not improved for half of the search time — measured against
+		// global progress: a chain keeps searching while it *or any
+		// sibling chain* is still improving the shared best. The
+		// criterion is defined relative to the time budget, so it only
+		// applies when one is set; iteration-budgeted runs (e.g. the
+		// Table 4 timing comparison) execute their full proposal count
+		// and stay deterministic.
+		if opts.Budget > 0 && elapsed > 100*time.Millisecond {
+			sinceImprove := time.Since(lastImprove)
+			if g := shared.sinceImprove(); g < sinceImprove {
+				sinceImprove = g
+			}
+			if sinceImprove > elapsed/2 {
 				break
 			}
 		}
@@ -255,6 +367,7 @@ func runChain(g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, in
 				res.Best = cur.Clone()
 				res.Trace = append(res.Trace, TracePoint{Iter: it, Elapsed: time.Since(globalStart), BestCost: newCost})
 				lastImprove = time.Now()
+				shared.record(newCost)
 			}
 		} else {
 			// Revert the proposal.

@@ -1,0 +1,187 @@
+package search
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"flexflow/internal/config"
+	"flexflow/internal/device"
+	"flexflow/internal/graph"
+	"flexflow/internal/models"
+	"flexflow/internal/perfmodel"
+)
+
+// parallelCases are the models of the Workers=1 vs Workers=N
+// differential; three distinct architectures (issue requirement: >= 3).
+func parallelCases() []struct {
+	name string
+	g    *graph.Graph
+} {
+	return []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"tinyMLP", tinyMLP()},
+		{"lenet", models.LeNet(16)},
+		{"rnnlm-2step", models.RNNLM(16, 2)},
+	}
+}
+
+// TestMCMCParallelMatchesSerial is the determinism differential of the
+// concurrent runtime: for a fixed seed and iteration budget (Budget ==
+// 0, the deterministic regime), the search must return bit-identical
+// results no matter how many workers execute the chain pool. Run under
+// -race this also certifies the fan-out shares no unsynchronized state.
+func TestMCMCParallelMatchesSerial(t *testing.T) {
+	t.Parallel()
+	for _, c := range parallelCases() {
+		for _, seed := range []int64{1, 7} {
+			topo := device.NewSingleNode(4, "P100")
+			est := perfmodel.NewAnalyticModel()
+			opts := DefaultOptions()
+			opts.MaxIters = 200
+			opts.Seed = seed
+			initials := Initials(c.g, topo, seed, true)
+
+			opts.Workers = 1
+			serial := MCMC(c.g, topo, est, initials, opts)
+			for _, workers := range []int{runtime.NumCPU(), 3} {
+				opts.Workers = workers
+				pl := MCMC(c.g, topo, est, initials, opts)
+				if pl.BestCost != serial.BestCost {
+					t.Errorf("%s seed %d workers %d: BestCost %v != serial %v", c.name, seed, workers, pl.BestCost, serial.BestCost)
+				}
+				if !pl.Best.Equal(serial.Best) {
+					t.Errorf("%s seed %d workers %d: Best strategy differs from serial", c.name, seed, workers)
+				}
+				if pl.Iters != serial.Iters || pl.Accepted != serial.Accepted {
+					t.Errorf("%s seed %d workers %d: Iters/Accepted %d/%d != serial %d/%d",
+						c.name, seed, workers, pl.Iters, pl.Accepted, serial.Iters, serial.Accepted)
+				}
+				if pl.SimStats != serial.SimStats {
+					t.Errorf("%s seed %d workers %d: SimStats %+v != serial %+v", c.name, seed, workers, pl.SimStats, serial.SimStats)
+				}
+			}
+		}
+	}
+}
+
+// Shared estimator caches must not perturb the walk either: the
+// MeasuringEstimator resolves concurrent misses to the same value, so
+// parallel chains sharing one cache still reproduce the serial result.
+func TestMCMCParallelSharedMeasuringEstimator(t *testing.T) {
+	t.Parallel()
+	g := tinyMLP()
+	topo := device.NewSingleNode(4, "P100")
+	opts := DefaultOptions()
+	opts.MaxIters = 150
+	initials := Initials(g, topo, 1, true)
+
+	run := func(workers int) Result {
+		est := perfmodel.NewMeasuringEstimator(perfmodel.NewAnalyticModel().ExecTime, 1)
+		opts.Workers = workers
+		return MCMC(g, topo, est, initials, opts)
+	}
+	serial := run(1)
+	parallel := run(runtime.NumCPU())
+	if serial.BestCost != parallel.BestCost || !serial.Best.Equal(parallel.Best) || serial.Iters != parallel.Iters {
+		t.Fatalf("shared-estimator parallel run diverged: %v/%d vs %v/%d",
+			parallel.BestCost, parallel.Iters, serial.BestCost, serial.Iters)
+	}
+}
+
+func TestMCMCCancel(t *testing.T) {
+	t.Parallel()
+	g := tinyMLP()
+	topo := device.NewSingleNode(4, "P100")
+	cancel := make(chan struct{})
+	close(cancel) // cancelled before it starts: every chain returns after its initial sim
+	opts := DefaultOptions()
+	opts.MaxIters = 100000
+	opts.Cancel = cancel
+	res := MCMC(g, topo, perfmodel.NewAnalyticModel(), Initials(g, topo, 1, false), opts)
+	if res.Iters != 0 {
+		t.Fatalf("cancelled search still ran %d proposals", res.Iters)
+	}
+	if res.Best == nil || res.BestCost <= 0 {
+		t.Fatalf("cancelled search lost the initial evaluation: %+v", res)
+	}
+}
+
+func TestMCMCCancelMidFlight(t *testing.T) {
+	t.Parallel()
+	g := tinyMLP()
+	topo := device.NewSingleNode(4, "P100")
+	cancel := make(chan struct{})
+	opts := DefaultOptions()
+	opts.MaxIters = 1 << 30 // effectively unbounded: only Cancel can stop it
+	opts.Budget = 0
+	opts.Cancel = cancel
+	opts.Workers = 2
+	done := make(chan Result, 1)
+	go func() {
+		done <- MCMC(g, topo, perfmodel.NewAnalyticModel(), Initials(g, topo, 1, false), opts)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(cancel)
+	select {
+	case res := <-done:
+		if res.Best == nil {
+			t.Fatal("cancelled search returned no strategy")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("search did not stop after Cancel")
+	}
+}
+
+// TestExhaustiveParallelMatchesSerial pins the parallel DFS contract:
+// the optimum cost is worker-count independent (the shared bound can
+// only prune subtrees that cannot contain a strictly better leaf), and
+// every explored+pruned accounting still covers the space.
+func TestExhaustiveParallelMatchesSerial(t *testing.T) {
+	t.Parallel()
+	g := models.LeNet(32)
+	topo := device.NewSingleNode(2, "P100")
+	est := perfmodel.NewAnalyticModel()
+	base := ExhaustiveOptions{
+		Enum:               config.EnumOptions{MaxDegree: 2},
+		MaxCandidatesPerOp: 4,
+	}
+
+	base.Workers = 1
+	serial := Exhaustive(g, topo, est, base)
+	if serial.Best == nil {
+		t.Fatal("serial exhaustive found nothing")
+	}
+	for _, workers := range []int{2, runtime.NumCPU()} {
+		opts := base
+		opts.Workers = workers
+		pl := Exhaustive(g, topo, est, opts)
+		if pl.BestCost != serial.BestCost {
+			t.Errorf("workers=%d: BestCost %v != serial %v", workers, pl.BestCost, serial.BestCost)
+		}
+		if pl.Best == nil {
+			t.Errorf("workers=%d: no strategy returned", workers)
+		} else if err := pl.Best.Validate(g, topo); err != nil {
+			t.Errorf("workers=%d: invalid strategy: %v", workers, err)
+		}
+		if pl.SpaceSize != serial.SpaceSize {
+			t.Errorf("workers=%d: space size %g != %g", workers, pl.SpaceSize, serial.SpaceSize)
+		}
+	}
+}
+
+func TestChainSeedsDecorrelated(t *testing.T) {
+	t.Parallel()
+	seen := map[int64]bool{}
+	for master := int64(0); master < 4; master++ {
+		for chain := 0; chain < 64; chain++ {
+			s := chainSeed(master, chain)
+			if seen[s] {
+				t.Fatalf("duplicate chain seed %d (master %d, chain %d)", s, master, chain)
+			}
+			seen[s] = true
+		}
+	}
+}

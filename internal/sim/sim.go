@@ -18,6 +18,17 @@
 // execution order is the total order (readyTime, taskID), which the
 // engine maintains as a fixpoint. The differential tests in this package
 // assert full/delta equality over randomized mutation sequences.
+//
+// # Ownership
+//
+// A State (and the TaskGraph it wraps — Simulate and ApplyDelta write
+// scheduling fields directly into the tasks) is owned by exactly one
+// goroutine; it is not safe for concurrent use and is never locked. The
+// concurrent search runtime gets its parallelism one level up: each MCMC
+// chain builds its own task graph and its own State, sharing only
+// read-only inputs (operator graph, topology, estimator) across
+// goroutines. Simulation results depend only on the task graph, so
+// per-chain States cost no determinism.
 package sim
 
 import (
