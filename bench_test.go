@@ -10,6 +10,7 @@
 package flexflow
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -69,7 +70,7 @@ func BenchmarkFig7(b *testing.B) {
 		b.Run(model, func(b *testing.B) {
 			s := benchScale()
 			for i := 0; i < b.N; i++ {
-				experiments.Fig7(s, []string{model}, []string{"P100"})
+				experiments.Fig7(context.Background(), s, []string{model}, []string{"P100"})
 			}
 		})
 	}
@@ -78,28 +79,28 @@ func BenchmarkFig7(b *testing.B) {
 func BenchmarkFig8NMT(b *testing.B) {
 	s := benchScale()
 	for i := 0; i < b.N; i++ {
-		experiments.Fig8(s, 4)
+		experiments.Fig8(context.Background(), s, 4)
 	}
 }
 
 func BenchmarkFig9EndToEnd(b *testing.B) {
 	s := benchScale()
 	for i := 0; i < b.N; i++ {
-		experiments.Fig9(s, 4)
+		experiments.Fig9(context.Background(), s, 4)
 	}
 }
 
 func BenchmarkFig10aVsReinforce(b *testing.B) {
 	s := benchScale()
 	for i := 0; i < b.N; i++ {
-		experiments.Fig10a(s)
+		experiments.Fig10a(context.Background(), s)
 	}
 }
 
 func BenchmarkFig10bVsOptCNN(b *testing.B) {
 	s := benchScale()
 	for i := 0; i < b.N; i++ {
-		experiments.Fig10b(s, 4)
+		experiments.Fig10b(context.Background(), s, 4)
 	}
 }
 
@@ -113,7 +114,7 @@ func BenchmarkFig11SimulatorAccuracy(b *testing.B) {
 func BenchmarkFig12SearchCurves(b *testing.B) {
 	s := benchScale()
 	for i := 0; i < b.N; i++ {
-		experiments.Fig12(s, 4)
+		experiments.Fig12(context.Background(), s, 4)
 	}
 }
 
@@ -132,7 +133,7 @@ func BenchmarkTable4(b *testing.B) {
 				opts := search.DefaultOptions()
 				opts.MaxIters = 60
 				opts.FullSim = mode.full
-				search.MCMC(g, topo, est, []*config.Strategy{config.DataParallel(g, topo)}, opts)
+				search.MCMC(context.Background(), g, topo, est, []*config.Strategy{config.DataParallel(g, topo)}, opts)
 			}
 		})
 	}
@@ -141,14 +142,14 @@ func BenchmarkTable4(b *testing.B) {
 func BenchmarkFig13CaseInception(b *testing.B) {
 	s := benchScale()
 	for i := 0; i < b.N; i++ {
-		experiments.CaseStudy(s, "inception-v3")
+		experiments.CaseStudy(context.Background(), s, "inception-v3")
 	}
 }
 
 func BenchmarkFig14CaseNMT(b *testing.B) {
 	s := benchScale()
 	for i := 0; i < b.N; i++ {
-		experiments.CaseStudy(s, "nmt")
+		experiments.CaseStudy(context.Background(), s, "nmt")
 	}
 }
 
@@ -176,7 +177,7 @@ func benchMCMC(b *testing.B, workers int) {
 		opts := search.DefaultOptions()
 		opts.MaxIters = 60
 		opts.Workers = workers
-		search.MCMC(g, topo, est, initials, opts)
+		search.MCMC(context.Background(), g, topo, est, initials, opts)
 	}
 }
 
@@ -204,7 +205,7 @@ func BenchmarkExperimentsSuite(b *testing.B) {
 			s.Workers = mode.workers
 			for i := 0; i < b.N; i++ {
 				for _, id := range ids {
-					if _, err := experiments.Run(id, s); err != nil {
+					if _, err := experiments.Run(context.Background(), id, s); err != nil {
 						b.Fatal(err)
 					}
 				}

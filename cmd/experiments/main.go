@@ -3,6 +3,9 @@
 // the paper numbers whose shape it reproduces; DESIGN.md maps experiment
 // IDs to paper artifacts.
 //
+// ^C cancels the in-flight searches; the experiments cut short report
+// whatever their searches had found at that point.
+//
 // Examples:
 //
 //	experiments -list
@@ -13,9 +16,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -47,9 +52,13 @@ func main() {
 		scale = experiments.Full()
 	}
 	scale.Workers = *workers
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	start := time.Now()
-	tables, err := experiments.Run(*exp, scale)
-	if err != nil {
+	tables, err := experiments.Run(ctx, *exp, scale)
+	if err != nil && len(tables) == 0 {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -57,4 +66,8 @@ func main() {
 		fmt.Println(t.Render())
 	}
 	fmt.Printf("%s finished in %v at scale %q\n", strings.ToLower(*exp), time.Since(start).Round(time.Millisecond), scale.Name)
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "interrupted: searches were cut short; tables show best-so-far results")
+		os.Exit(130) // match cmd/flexflow: report, then signal the interrupt
+	}
 }

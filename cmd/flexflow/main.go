@@ -1,19 +1,28 @@
 // Command flexflow searches for a parallelization strategy for one of
 // the paper's benchmark DNNs on a chosen cluster and reports what it
-// found, comparing against the data-parallel and expert baselines.
+// found, comparing against the data-parallel and expert baselines. The
+// -algo flag selects any registered optimizer — the paper's MCMC search
+// or one of its baselines — behind the same flow; -progress streams
+// best-so-far improvements live; ^C cancels the search and reports the
+// best strategy found so far.
 //
 // Examples:
 //
 //	flexflow -model nmt -cluster p100 -gpus 16 -iters 2000
 //	flexflow -model inception-v3 -cluster k80 -gpus 4 -scale 8 -verbose
+//	flexflow -model lenet -scale 16 -algo exhaustive -gpus 2
+//	flexflow -model rnnlm -algo reinforce -progress
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"flexflow"
@@ -25,10 +34,12 @@ func main() {
 		cluster  = flag.String("cluster", "p100", "cluster type: p100 or k80")
 		gpus     = flag.Int("gpus", 4, "number of GPUs")
 		scale    = flag.Int("scale", 8, "model scale divisor (1 = paper-scale batch/steps)")
-		iters    = flag.Int("iters", 1000, "MCMC proposals per initial strategy")
-		budget   = flag.Duration("budget", 30*time.Second, "wall-clock search budget per chain")
+		algo     = flag.String("algo", "mcmc", "optimizer: "+strings.Join(flexflow.Optimizers(), ", "))
+		iters    = flag.Int("iters", 1000, "MCMC proposals per initial strategy (episodes for reinforce, rounds for polish)")
+		budget   = flag.Duration("budget", 30*time.Second, "virtual-time search budget per chain (deterministic; 0 = none)")
 		seed     = flag.Int64("seed", 1, "search seed")
-		workers  = flag.Int("workers", 0, "concurrent MCMC chains (0 = all CPUs; with -budget 0 results are identical for any value)")
+		workers  = flag.Int("workers", 0, "optimizer-internal concurrency (0 = all CPUs; results are identical for any value)")
+		progress = flag.Bool("progress", false, "stream best-so-far improvements while the search runs")
 		verbose  = flag.Bool("verbose", false, "print the per-op configuration of the best strategy")
 		export   = flag.String("export", "", "write the best strategy to this JSON file")
 		importF  = flag.String("import", "", "evaluate a previously exported strategy instead of searching")
@@ -61,6 +72,11 @@ func main() {
 		os.Exit(1)
 	}
 
+	// ^C cancels the context; every optimizer returns promptly with the
+	// best strategy it had found, and the report below still prints.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	fmt.Printf("model: %s\n", g)
 	fmt.Printf("cluster: %s with %d GPUs\n\n", topo.Name, len(topo.GPUs()))
 
@@ -72,7 +88,8 @@ func main() {
 	exTime, exMetrics := flexflow.Simulate(g, topo, ex)
 	fmt.Printf("expert-designed:    %-12v (%.1f MB transfers/iter)\n", exTime, float64(exMetrics.CommBytes)/1e6)
 
-	var res flexflow.SearchResult
+	var res flexflow.Result
+	interrupted := false
 	if *importF != "" {
 		data, err := os.ReadFile(*importF)
 		if err != nil {
@@ -85,16 +102,44 @@ func main() {
 			os.Exit(1)
 		}
 		cost, _ := flexflow.Simulate(g, topo, s)
-		res = flexflow.SearchResult{Best: s, BestCost: cost}
+		res = flexflow.Result{Best: s, BestCost: cost}
 		fmt.Printf("imported strategy:  %-12v (from %s)\n", cost, *importF)
 	} else {
-		res = flexflow.Search(g, topo, flexflow.SearchOptions{
+		opt, err := flexflow.GetOptimizer(*algo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		opts := flexflow.OptimizeOptions{
 			MaxIters: *iters, Budget: *budget, Seed: *seed, Workers: *workers, IncludeExpert: true,
-		})
-		fmt.Printf("search: %d proposals in %v\n", res.Iters, res.SearchTime)
+		}
+		if *progress {
+			// Events arrive concurrently from the optimizer's workers;
+			// serialize the printing and only report improvements.
+			var mu sync.Mutex
+			best := time.Duration(1<<62 - 1)
+			opts.OnEvent = func(ev flexflow.ProgressEvent) {
+				mu.Lock()
+				defer mu.Unlock()
+				if ev.BestCost < best {
+					best = ev.BestCost
+					fmt.Printf("progress: %s chain %d iter %d best %v\n", ev.Algorithm, ev.Chain, ev.Iter, ev.BestCost)
+				}
+			}
+		}
+		res, err = opt.Optimize(ctx, flexflow.Problem{Graph: g, Topology: topo}, opts)
+		if err != nil {
+			interrupted = true
+			if res.Best == nil {
+				fmt.Fprintf(os.Stderr, "search aborted before finding any strategy: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("search interrupted (%v): reporting the best strategy found so far\n", err)
+		}
+		fmt.Printf("search (%s): %d iterations in %v\n", res.Algorithm, res.Iters, res.SearchTime)
 	}
 	_, ffMetrics := flexflow.Simulate(g, topo, res.Best)
-	fmt.Printf("flexflow strategy:  %-12v (%.1f MB transfers/iter)\n\n", res.BestCost, float64(ffMetrics.CommBytes)/1e6)
+	fmt.Printf("found strategy:     %-12v (%.1f MB transfers/iter)\n\n", res.BestCost, float64(ffMetrics.CommBytes)/1e6)
 	fmt.Printf("speedup vs data parallelism: %.2fx\n", float64(dpTime)/float64(res.BestCost))
 	fmt.Printf("speedup vs expert-designed:  %.2fx\n", float64(exTime)/float64(res.BestCost))
 
@@ -141,5 +186,8 @@ func main() {
 		for _, r := range rows {
 			fmt.Printf("  %-28s %s\n", r.name, r.cfg)
 		}
+	}
+	if interrupted {
+		os.Exit(130) // conventional exit code for SIGINT, after reporting
 	}
 }

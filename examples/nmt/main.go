@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -30,11 +31,23 @@ func main() {
 	dpTime, dpM := flexflow.Simulate(g, topo, flexflow.DataParallel(g, topo))
 	exTime, _ := flexflow.Simulate(g, topo, flexflow.ExpertDesigned(g, topo))
 
-	res := flexflow.Search(g, topo, flexflow.SearchOptions{
+	// The unified optimizer API: cancelling the context (here a plain
+	// wall-clock deadline) stops the search with the best found so far,
+	// while Budget bounds deterministic virtual search time per chain.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	opt, err := flexflow.GetOptimizer("mcmc")
+	if err != nil {
+		panic(err)
+	}
+	res, err := opt.Optimize(ctx, flexflow.Problem{Graph: g, Topology: topo}, flexflow.OptimizeOptions{
 		MaxIters:      4000,
 		Budget:        30 * time.Second,
 		IncludeExpert: true,
 	})
+	if err != nil && res.Best == nil {
+		panic(err)
+	}
 	_, ffM := flexflow.Simulate(g, topo, res.Best)
 
 	fmt.Printf("\nper-iteration time:\n")

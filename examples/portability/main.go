@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -30,13 +31,21 @@ func main() {
 		{"4x K80, asymmetric PCI-e", flexflow.NewSingleNode(4, "K80")},
 		{"8x P100 over 2 nodes", flexflow.NewP100Cluster(2)},
 	}
+	opt, err := flexflow.GetOptimizer("mcmc")
+	if err != nil {
+		panic(err)
+	}
 	for _, m := range machines {
 		dpTime, _ := flexflow.Simulate(g, m.topo, flexflow.DataParallel(g, m.topo))
-		res := flexflow.Search(g, m.topo, flexflow.SearchOptions{
-			MaxIters: 1200,
-			Budget:   15 * time.Second,
-			Seed:     3,
-		})
+		res, err := opt.Optimize(context.Background(), flexflow.Problem{Graph: g, Topology: m.topo},
+			flexflow.OptimizeOptions{
+				MaxIters: 1200,
+				Budget:   15 * time.Second,
+				Seed:     3,
+			})
+		if err != nil {
+			panic(err)
+		}
 		fmt.Printf("\n%s:\n", m.name)
 		fmt.Printf("  data parallelism: %v/iter\n", dpTime)
 		fmt.Printf("  found strategy:   %v/iter (%.2fx), %d GPUs used\n",

@@ -5,8 +5,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
-	"time"
+	"os"
+	"os/signal"
 
 	"flexflow"
 )
@@ -32,12 +34,21 @@ func main() {
 	dpTime, dpM := flexflow.Simulate(g, topo, dp)
 	fmt.Printf("\ndata parallelism:  %v/iteration, %.2f MB moved\n", dpTime, float64(dpM.CommBytes)/1e6)
 
-	// 4. The execution optimizer: MCMC over the SOAP space with the
-	// execution simulator as cost oracle.
-	res := flexflow.Search(g, topo, flexflow.SearchOptions{
-		MaxIters: 1500,
-		Budget:   10 * time.Second,
-	})
+	// 4. The execution optimizer: every search algorithm is an Optimizer
+	// constructed by name; "mcmc" is the paper's MCMC walk over the SOAP
+	// space with the execution simulator as cost oracle. ^C cancels the
+	// context and returns the best strategy found so far.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	opt, err := flexflow.GetOptimizer("mcmc")
+	if err != nil {
+		panic(err)
+	}
+	res, err := opt.Optimize(ctx, flexflow.Problem{Graph: g, Topology: topo},
+		flexflow.OptimizeOptions{MaxIters: 1500})
+	if err != nil && res.Best == nil {
+		panic(err)
+	}
 	_, ffM := flexflow.Simulate(g, topo, res.Best)
 	fmt.Printf("flexflow strategy: %v/iteration, %.2f MB moved (found in %v, %d proposals)\n",
 		res.BestCost, float64(ffM.CommBytes)/1e6, res.SearchTime, res.Iters)

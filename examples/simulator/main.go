@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -36,6 +37,15 @@ func main() {
 		"random-1":      config.Random(g, topo, rng),
 		"random-2":      config.Random(g, topo, rng),
 		"random-3":      config.Random(g, topo, rng),
+	}
+	// Include an optimizer-found strategy: the accuracy bound has to
+	// hold on the strategies the search actually visits, not just on
+	// hand-picked baselines.
+	if opt, err := flexflow.GetOptimizer("optcnn"); err == nil {
+		if res, err := opt.Optimize(context.Background(),
+			flexflow.Problem{Graph: g, Topology: topo}, flexflow.OptimizeOptions{}); err == nil {
+			strategies["optcnn"] = res.Best
+		}
 	}
 	for name, s := range strategies {
 		simT, _ := flexflow.Simulate(g, topo, s)

@@ -9,7 +9,11 @@
 // README.md for a tour and DESIGN.md for the architecture and the
 // paper-to-module map.
 //
-// A minimal end-to-end use:
+// Every strategy-search algorithm — the paper's MCMC optimizer and the
+// baselines it is evaluated against (exhaustive DFS with pruning, the
+// OptCNN dynamic program, REINFORCE device placement, local-descent
+// polishing) — is an Optimizer: one context-driven contract constructed
+// by name from a registry. A minimal end-to-end use:
 //
 //	g := flexflow.NewGraph("mlp")
 //	x := g.Input4D("images", 64, 3, 32, 32)
@@ -18,11 +22,23 @@
 //	g.Dense("fc", f, 128)
 //
 //	topo := flexflow.NewSingleNode(4, "P100")
-//	res := flexflow.Search(g, topo, flexflow.SearchOptions{})
-//	fmt.Println("best per-iteration time:", res.BestCost)
+//	opt, _ := flexflow.GetOptimizer("mcmc")
+//	res, err := opt.Optimize(ctx, flexflow.Problem{Graph: g, Topology: topo},
+//		flexflow.OptimizeOptions{MaxIters: 2000})
+//	if err == nil {
+//		fmt.Println("best per-iteration time:", res.BestCost)
+//	}
+//
+// Cancelling ctx (a ^C handler, a deadline) stops the search promptly
+// and returns the best strategy found so far; OptimizeOptions.OnEvent
+// streams best-so-far progress while the search runs; and MCMC budgets
+// are charged in deterministic virtual time, so a budgeted run replays
+// bit-identically for any worker count. Search and SearchOptions remain
+// as deprecated shims over the "mcmc" optimizer.
 package flexflow
 
 import (
+	"context"
 	"time"
 
 	"flexflow/internal/config"
@@ -119,10 +135,17 @@ func Simulate(g *Graph, topo *Topology, s *Strategy) (time.Duration, Metrics) {
 }
 
 // SearchOptions configure the execution optimizer.
+//
+// Deprecated: use OptimizeOptions with GetOptimizer("mcmc"), which adds
+// streaming progress, pluggable algorithms and context-based
+// cancellation; SearchOptions remains as a shim over it.
 type SearchOptions struct {
 	// MaxIters caps MCMC proposals per initial strategy (default 2000).
 	MaxIters int
-	// Budget caps wall-clock search time per chain (0 = none).
+	// Budget caps search time per chain in deterministic virtual time
+	// (0 = none): proposals are charged a calibrated cost, so a
+	// budgeted run executes a fixed proposal count and replays exactly.
+	// For a wall-clock limit, use Optimize with a deadline context.
 	Budget time.Duration
 	// Beta is the Metropolis-Hastings temperature (default 15).
 	Beta float64
@@ -133,11 +156,15 @@ type SearchOptions struct {
 	IncludeExpert bool
 	// Workers bounds how many MCMC chains run concurrently (0 =
 	// NumCPU). Results are identical for every value: chain RNG seeds
-	// are derived up front from Seed, so with Budget == 0 the parallel
-	// search is bit-identical to the serial one.
+	// are derived up front from Seed, so the parallel search is
+	// bit-identical to the serial one.
 	Workers int
 	// Cancel, when non-nil, stops the search early once closed; the
 	// best strategy found so far is returned.
+	//
+	// Deprecated: pass a cancellable context.Context to
+	// Optimizer.Optimize instead. Cancel is bridged onto a context
+	// internally and keeps working.
 	Cancel <-chan struct{}
 }
 
@@ -154,23 +181,42 @@ type SearchResult struct {
 
 // Search runs the FlexFlow execution optimizer (Section 6) and returns
 // the best strategy discovered.
+//
+// Deprecated: use GetOptimizer("mcmc") and Optimize, which accept a
+// context for cancellation and stream progress events. Search remains a
+// thin shim over that path.
 func Search(g *Graph, topo *Topology, o SearchOptions) SearchResult {
-	opts := search.DefaultOptions()
-	if o.MaxIters > 0 {
-		opts.MaxIters = o.MaxIters
+	ctx := context.Background()
+	if o.Cancel != nil {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithCancel(ctx)
+		defer cancel()
+		select {
+		case <-o.Cancel:
+			// Already closed: cancel synchronously so the search sees it
+			// before its first proposal, exactly like the old channel
+			// check did.
+			cancel()
+		default:
+			done := make(chan struct{})
+			defer close(done)
+			go func() {
+				select {
+				case <-o.Cancel:
+					cancel()
+				case <-done:
+				}
+			}()
+		}
 	}
-	if o.Budget > 0 {
-		opts.Budget = o.Budget
+	opt, err := GetOptimizer("mcmc")
+	if err != nil {
+		panic(err) // unreachable: "mcmc" registers at init
 	}
-	if o.Beta > 0 {
-		opts.Beta = o.Beta
-	}
-	if o.Seed != 0 {
-		opts.Seed = o.Seed
-	}
-	opts.Workers = o.Workers
-	opts.Cancel = o.Cancel
-	res := search.MCMC(g, topo, NewEstimator(), search.Initials(g, topo, opts.Seed, o.IncludeExpert), opts)
+	res, _ := opt.Optimize(ctx, Problem{Graph: g, Topology: topo}, OptimizeOptions{
+		MaxIters: o.MaxIters, Budget: o.Budget, Beta: o.Beta, Seed: o.Seed,
+		IncludeExpert: o.IncludeExpert, Workers: o.Workers,
+	})
 	return SearchResult{Best: res.Best, BestCost: res.BestCost, Iters: res.Iters, SearchTime: res.SearchTime}
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"flexflow/internal/config"
@@ -14,7 +15,7 @@ import (
 // the proposal space: Sample only (data-parallel placement), Sample +
 // Parameter, and the full SOAP space, on a parameter-heavy RNN where the
 // extra dimensions matter.
-func AblationSpace(scale Scale) *Table {
+func AblationSpace(ctx context.Context, scale Scale) *Table {
 	spec, _ := models.Get("rnnlm")
 	g := scale.build(spec)
 	gpus := scale.DeviceCounts[len(scale.DeviceCounts)-1]
@@ -43,7 +44,7 @@ func AblationSpace(scale Scale) *Table {
 		est := estimator()
 		opts := scale.searchOpts()
 		opts.Space = c.space
-		res := search.MCMC(g, topo, est, initials, opts)
+		res := search.MCMC(ctx, g, topo, est, initials, opts)
 		costs[c.name] = res.BestCost.Seconds()
 		t.Rows = append(t.Rows, []string{c.name, ms(res.BestCost), ""})
 		initials = append(initials, res.Best)
@@ -59,7 +60,7 @@ func AblationSpace(scale Scale) *Table {
 // AblationBeta sweeps the Metropolis-Hastings temperature to show the
 // search is robust across a broad range of beta (Section 6.1's "a
 // constant that can be chosen").
-func AblationBeta(scale Scale) *Table {
+func AblationBeta(ctx context.Context, scale Scale) *Table {
 	spec, _ := models.Get("inception-v3")
 	g := scale.build(spec)
 	topo := device.NewSingleNode(4, "P100")
@@ -77,7 +78,7 @@ func AblationBeta(scale Scale) *Table {
 		est := estimator()
 		opts := scale.searchOpts()
 		opts.Beta = beta
-		res := search.MCMC(g, topo, est, []*config.Strategy{config.DataParallel(g, topo)}, opts)
+		res := search.MCMC(ctx, g, topo, est, []*config.Strategy{config.DataParallel(g, topo)}, opts)
 		rate := 0.0
 		if res.Iters > 0 {
 			rate = float64(res.Accepted) / float64(res.Iters)

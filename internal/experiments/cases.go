@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -10,7 +11,6 @@ import (
 	"flexflow/internal/graph"
 	"flexflow/internal/models"
 	"flexflow/internal/search"
-	"flexflow/internal/taskgraph"
 	"flexflow/internal/tensor"
 )
 
@@ -19,7 +19,7 @@ import (
 // GPUs, rendered per layer group, plus the headline reductions against
 // data parallelism (Inception-v3: -75% parameter synchronization cost,
 // -12% per-iteration time).
-func CaseStudy(scale Scale, model string) *Table {
+func CaseStudy(ctx context.Context, scale Scale, model string) *Table {
 	spec, err := models.Get(model)
 	if err != nil {
 		panic(err)
@@ -35,9 +35,9 @@ func CaseStudy(scale Scale, model string) *Table {
 	opts := scale.searchOpts()
 	opts.MaxIters *= 8
 	opts.Budget *= 2
-	res := search.MCMC(g, topo, est, search.Initials(g, topo, scale.Seed, true), opts)
+	res := search.MCMC(ctx, g, topo, est, search.Initials(g, topo, scale.Seed, true), opts)
 	best, ffTime := res.Best, res.BestCost
-	if polished, cost := search.Polish(g, topo, est, best, enumForScale(scale, topo), taskgraph.Options{}, 2); cost < ffTime {
+	if polished, cost := search.Polish(ctx, g, topo, est, best, search.PolishOptions{Enum: enumForScale(scale, topo), MaxRounds: 2}); cost < ffTime {
 		best, ffTime = polished, cost
 	}
 	_, ffMetrics := evaluate(g, topo, est, best)

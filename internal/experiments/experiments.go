@@ -11,15 +11,16 @@
 // Table4's (model, gpus) cells, and so on — over a worker pool, while
 // each cell's searches in turn parallelize their MCMC chains. Cells
 // write rows into fixed positions, so row order never depends on
-// scheduling, and with SearchBudget == 0 the tables are byte-identical
-// to the serial run (a wall-clock budget reintroduces time-based chain
-// stopping; see the search package's determinism contract). The only
-// experiments left serial are the ones that
+// scheduling, and since search budgets are charged in deterministic
+// virtual time (see the search package's determinism contract), the
+// tables are byte-identical to the serial run — budgeted or not. The
+// only experiments left serial are the ones that
 // measure wall-clock ratios between two timed runs (Fig12) or chain
 // results into the next cell's inputs (the search-space ablation).
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -90,7 +91,9 @@ type Scale struct {
 	DeviceCounts []int
 	// SearchIters caps MCMC proposals per initial strategy.
 	SearchIters int
-	// SearchBudget caps wall-clock per search (0 = none).
+	// SearchBudget caps virtual search time per search (0 = none);
+	// virtual budgets stop at a fixed proposal count, so budgeted runs
+	// replay exactly.
 	SearchBudget time.Duration
 	// Seed drives all randomized components.
 	Seed int64
@@ -103,9 +106,8 @@ type Scale struct {
 	// but does blur the wall-clock measurements the timing experiments
 	// report (a single shared pool is a ROADMAP item). Cells are
 	// computed into fixed row slots, so row order never depends on
-	// scheduling, and with SearchBudget == 0 the tables are identical
-	// for every Workers value (the searches are worker-count
-	// deterministic in the iteration-budgeted regime).
+	// scheduling, and the tables are identical for every Workers value
+	// (the searches are worker-count deterministic, budgeted or not).
 	Workers int
 }
 
@@ -181,8 +183,8 @@ func estimator() perfmodel.Estimator {
 
 // flexflowStrategy runs the FlexFlow search for a model on a topology
 // and returns the best strategy with its simulated iteration time.
-func flexflowStrategy(g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, scale Scale) (*config.Strategy, time.Duration, search.Result) {
-	res := search.MCMC(g, topo, est, search.Initials(g, topo, scale.Seed, true), scale.searchOpts())
+func flexflowStrategy(ctx context.Context, g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, scale Scale) (*config.Strategy, time.Duration, search.Result) {
+	res := search.MCMC(ctx, g, topo, est, search.Initials(g, topo, scale.Seed, true), scale.searchOpts())
 	return res.Best, res.BestCost, res
 }
 

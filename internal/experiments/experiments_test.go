@@ -1,11 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
 	"time"
 )
+
+// bg is the context of every test experiment run.
+var bg = context.Background()
 
 // testScale is deliberately tiny so the whole suite runs in seconds.
 // Workers is left at its zero value (NumCPU): together with t.Parallel()
@@ -71,7 +75,7 @@ func TestTable1MatchesPaper(t *testing.T) {
 
 func TestFig7Shape(t *testing.T) {
 	t.Parallel()
-	tab := Fig7(testScale(), []string{"rnnlm"}, []string{"P100"})
+	tab := Fig7(bg, testScale(), []string{"rnnlm"}, []string{"P100"})
 	if len(tab.Rows) != 2 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
@@ -86,7 +90,7 @@ func TestFig7Shape(t *testing.T) {
 
 func TestFig8Shape(t *testing.T) {
 	t.Parallel()
-	tab := Fig8(testScale(), 4)
+	tab := Fig8(bg, testScale(), 4)
 	if len(tab.Rows) != 3 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
@@ -103,7 +107,7 @@ func TestFig8Shape(t *testing.T) {
 
 func TestFig9Shape(t *testing.T) {
 	t.Parallel()
-	tab := Fig9(testScale(), 4)
+	tab := Fig9(bg, testScale(), 4)
 	if len(tab.Rows) < 2 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
@@ -116,7 +120,7 @@ func TestFig9Shape(t *testing.T) {
 
 func TestFig10aShape(t *testing.T) {
 	t.Parallel()
-	tab := Fig10a(testScale())
+	tab := Fig10a(bg, testScale())
 	if len(tab.Rows) != 2 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
@@ -129,7 +133,7 @@ func TestFig10aShape(t *testing.T) {
 
 func TestFig10bShape(t *testing.T) {
 	t.Parallel()
-	tab := Fig10b(testScale(), 4)
+	tab := Fig10b(bg, testScale(), 4)
 	for i := range tab.Rows {
 		if sp := cellFloat(t, tab, i, "speedup"); sp < 1 {
 			t.Fatalf("row %d: FlexFlow slower than OptCNN (%v)", i, sp)
@@ -159,7 +163,7 @@ func TestFig11AccuracyBound(t *testing.T) {
 // full-vs-delta timing windows comparable.
 func TestFig12AndTable4DeltaFaster(t *testing.T) {
 	s := testScale()
-	tab := Table4(s, []string{"rnntc"})
+	tab := Table4(bg, s, []string{"rnntc"})
 	if len(tab.Rows) == 0 {
 		t.Fatal("no rows")
 	}
@@ -168,7 +172,7 @@ func TestFig12AndTable4DeltaFaster(t *testing.T) {
 			t.Fatalf("row %d: delta not faster (speedup %v)", i, sp)
 		}
 	}
-	fig := Fig12(s, 4)
+	fig := Fig12(bg, s, 4)
 	if len(fig.Rows) < 4 {
 		t.Fatalf("fig12 rows = %d", len(fig.Rows))
 	}
@@ -179,7 +183,7 @@ func TestGlobalOptimality(t *testing.T) {
 		t.Skip("exhaustive DFS over ~1.7M leaves; skipped in -short")
 	}
 	t.Parallel()
-	tab := GlobalOptimality(testScale())
+	tab := GlobalOptimality(bg, testScale())
 	for i := range tab.Rows {
 		if got := cell(t, tab, i, "mcmc-found-optimum"); got != "true" {
 			t.Fatalf("row %d (%s): MCMC missed the restricted-space optimum", i, tab.Rows[i][0])
@@ -189,7 +193,7 @@ func TestGlobalOptimality(t *testing.T) {
 
 func TestLocalOptimality(t *testing.T) {
 	t.Parallel()
-	tab := LocalOptimality(testScale(), []string{"lenet"}, []int{2})
+	tab := LocalOptimality(bg, testScale(), []string{"lenet"}, []int{2})
 	for i := range tab.Rows {
 		if got := cell(t, tab, i, "locally-optimal"); got != "true" {
 			t.Fatalf("row %d: strategy not locally optimal", i)
@@ -206,7 +210,7 @@ func TestCaseStudies(t *testing.T) {
 		model := model
 		t.Run(model, func(t *testing.T) {
 			t.Parallel()
-			tab := CaseStudy(testScale(), model)
+			tab := CaseStudy(bg, testScale(), model)
 			if len(tab.Rows) == 0 {
 				t.Fatalf("%s: empty case study", model)
 			}
@@ -235,7 +239,7 @@ func TestProfilingReport(t *testing.T) {
 func TestAblations(t *testing.T) {
 	t.Parallel()
 	s := testScale()
-	space := AblationSpace(s)
+	space := AblationSpace(bg, s)
 	if len(space.Rows) != 3 {
 		t.Fatalf("space rows = %d", len(space.Rows))
 	}
@@ -245,7 +249,7 @@ func TestAblations(t *testing.T) {
 			t.Fatalf("restricted space beat SOAP: row %d ratio %v", i, r)
 		}
 	}
-	beta := AblationBeta(s)
+	beta := AblationBeta(bg, s)
 	if len(beta.Rows) != 5 {
 		t.Fatalf("beta rows = %d", len(beta.Rows))
 	}
@@ -266,10 +270,10 @@ func TestRegistry(t *testing.T) {
 	if len(ids) < 10 {
 		t.Fatalf("ids = %v", ids)
 	}
-	if _, err := Run("no-such-exp", testScale()); err == nil {
+	if _, err := Run(bg, "no-such-exp", testScale()); err == nil {
 		t.Fatal("unknown experiment did not error")
 	}
-	tabs, err := Run("table1", testScale())
+	tabs, err := Run(bg, "table1", testScale())
 	if err != nil || len(tabs) != 1 {
 		t.Fatalf("Run(table1) = %v, %v", tabs, err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"flexflow/internal/config"
@@ -18,7 +19,7 @@ import (
 // also finds its strategy in seconds where REINFORCE needed 12-27 hours
 // of real executions (here both use the simulator, so the gap shows up
 // as episodes-of-real-execution avoided).
-func Fig10a(scale Scale) *Table {
+func Fig10a(ctx context.Context, scale Scale) *Table {
 	t := &Table{
 		ID:     "fig10a",
 		Title:  "FlexFlow vs REINFORCE (4 K80 GPUs, single node)",
@@ -38,15 +39,18 @@ func Fig10a(scale Scale) *Table {
 			ro.Episodes = 200
 		}
 		ro.Seed = scale.Seed
-		rres := search.Reinforce(g, topo, est, ro)
+		rres := search.Reinforce(ctx, g, topo, est, ro)
+		if rres.Best == nil {
+			return nil // cancelled before any episode: skip the row
+		}
 
-		_, ffTime, _ := flexflowStrategy(g, topo, est, scale)
+		_, ffTime, _ := flexflowStrategy(ctx, g, topo, est, scale)
 		// The SOAP space contains every REINFORCE placement; if the
 		// budgeted walk has not yet matched the learned placement,
 		// continue the search from it (the optimizer accepts existing
 		// strategies as initial candidates, Section 6.2).
 		if rres.BestCost < ffTime {
-			cont := search.MCMC(g, topo, est, []*config.Strategy{rres.Best}, scale.searchOpts())
+			cont := search.MCMC(ctx, g, topo, est, []*config.Strategy{rres.Best}, scale.searchOpts())
 			ffTime = cont.BestCost
 		}
 		rTput := throughput(batch, rres.BestCost, 1) // total samples/s across the node
@@ -66,7 +70,7 @@ func Fig10a(scale Scale) *Table {
 // graphs (AlexNet, ResNet); 1.2-1.6x FlexFlow advantage on Inception-v3
 // and the RNNs, whose non-linear graphs permit inter-operation
 // parallelism OptCNN cannot express.
-func Fig10b(scale Scale, gpus int) *Table {
+func Fig10b(ctx context.Context, scale Scale, gpus int) *Table {
 	if gpus == 0 {
 		gpus = 16
 		if scale.ModelFactor > 1 {
@@ -87,15 +91,18 @@ func Fig10b(scale Scale, gpus int) *Table {
 		batch := g.Ops[0].Out.Size(0)
 		est := estimator()
 
-		ocStrat := search.OptCNN(g, topo, est, enumForScale(scale, topo))
+		ocStrat, err := search.OptCNN(ctx, g, topo, est, enumForScale(scale, topo))
+		if err != nil {
+			return nil // cancelled: skip the row
+		}
 		ocTime, _ := evaluate(g, topo, est, ocStrat)
-		_, ffTime, _ := flexflowStrategy(g, topo, est, scale)
+		_, ffTime, _ := flexflowStrategy(ctx, g, topo, est, scale)
 		// FlexFlow's search space strictly contains OptCNN's solutions;
 		// if the budgeted walk missed it, continue the search from the
 		// OptCNN strategy (the paper's optimizer likewise accepts
 		// existing strategies as initial candidates).
 		if ocTime < ffTime {
-			res := search.MCMC(g, topo, est, []*config.Strategy{ocStrat}, scale.searchOpts())
+			res := search.MCMC(ctx, g, topo, est, []*config.Strategy{ocStrat}, scale.searchOpts())
 			ffTime = res.BestCost
 		}
 		return []string{

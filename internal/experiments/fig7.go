@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"flexflow/internal/config"
@@ -18,7 +19,7 @@ import (
 // ResNet-101 tracks data parallelism closely; the parameter-heavy RNNs
 // and AlexNet's dense layers make data parallelism fall off with device
 // count while FlexFlow degrades much more slowly.
-func Fig7(scale Scale, modelNames []string, clusters []string) *Table {
+func Fig7(ctx context.Context, scale Scale, modelNames []string, clusters []string) *Table {
 	t := &Table{
 		ID:     "fig7",
 		Title:  "Per-iteration training throughput (samples/sec/GPU)",
@@ -67,7 +68,7 @@ func Fig7(scale Scale, modelNames []string, clusters []string) *Table {
 		est := estimator()
 		dpTime, _ := evaluate(c.g, topo, est, config.DataParallel(c.g, topo))
 		exTime, _ := evaluate(c.g, topo, est, config.Expert(c.g, topo))
-		_, ffTime, _ := flexflowStrategy(c.g, topo, est, scale)
+		_, ffTime, _ := flexflowStrategy(ctx, c.g, topo, est, scale)
 
 		return []string{
 			c.name, c.cluster, fmt.Sprintf("%d", c.n),

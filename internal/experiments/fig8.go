@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"flexflow/internal/config"
@@ -18,7 +19,7 @@ import (
 // transfers 2-5.5x; expert-designed achieves the lowest total compute
 // (no intra-op parallelism, so no redundant work) but the worst
 // balance, ending slower than FlexFlow overall.
-func Fig8(scale Scale, gpus int) *Table {
+func Fig8(ctx context.Context, scale Scale, gpus int) *Table {
 	if gpus == 0 {
 		gpus = scale.DeviceCounts[len(scale.DeviceCounts)-1]
 	}
@@ -43,7 +44,7 @@ func Fig8(scale Scale, gpus int) *Table {
 	}
 	add("data-parallel", config.DataParallel(g, topo))
 	add("expert-designed", config.Expert(g, topo))
-	best, _, _ := flexflowStrategy(g, topo, est, scale)
+	best, _, _ := flexflowStrategy(ctx, g, topo, est, scale)
 	add("flexflow", best)
 	t.Notes = append(t.Notes,
 		"paper (64 K80): per-iter 1.9/2.6/1.1 s; transfers 65.8/24.2/12.1 GB; compute 35.7/28.2/28.7 s")

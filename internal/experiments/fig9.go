@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -20,7 +21,7 @@ import (
 // report loss as a function of wall-clock time for both systems. The
 // shape to match: FlexFlow reaches the target loss with ~38% less
 // training time.
-func Fig9(scale Scale, gpus int) *Table {
+func Fig9(ctx context.Context, scale Scale, gpus int) *Table {
 	if gpus == 0 {
 		gpus = 16
 		if scale.ModelFactor > 1 {
@@ -33,7 +34,7 @@ func Fig9(scale Scale, gpus int) *Table {
 	est := estimator()
 
 	dpTime, _ := evaluate(g, topo, est, config.DataParallel(g, topo))
-	_, ffTime, _ := flexflowStrategy(g, topo, est, scale)
+	_, ffTime, _ := flexflowStrategy(ctx, g, topo, est, scale)
 
 	// Loss model: statistical efficiency is identical across systems;
 	// loss(iter) = floor + amp * iter^-alpha (power-law fit shaped like

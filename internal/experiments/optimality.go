@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"flexflow/internal/device"
@@ -14,7 +15,7 @@ import (
 // executions (LeNet and a 2-step RNNLM variant on 4 devices) the global
 // optimum is found by depth-first search with A*-style pruning, and the
 // MCMC search discovers a strategy of the same cost.
-func GlobalOptimality(scale Scale) *Table {
+func GlobalOptimality(ctx context.Context, scale Scale) *Table {
 	t := &Table{
 		ID:     "optimality-global",
 		Title:  "Global optimality study (Section 8.4): DFS+prune vs MCMC",
@@ -35,14 +36,14 @@ func GlobalOptimality(scale Scale) *Table {
 	for i, c := range cases {
 		g := c.graph()
 		est := estimator()
-		ex := search.Exhaustive(g, topo, est, search.ExhaustiveOptions{
+		ex := search.Exhaustive(ctx, g, topo, est, search.ExhaustiveOptions{
 			Enum:               enumForScale(scale, topo),
 			MaxCandidatesPerOp: 6,
 			Workers:            scale.Workers,
 		})
 		opts := scale.searchOpts()
 		opts.MaxIters = 4000
-		res := search.MCMC(g, topo, est, search.Initials(g, topo, scale.Seed, false), opts)
+		res := search.MCMC(ctx, g, topo, est, search.Initials(g, topo, scale.Seed, false), opts)
 		found := res.BestCost <= ex.BestCost
 		rows[i] = []string{
 			c.name,
@@ -64,7 +65,7 @@ func GlobalOptimality(scale Scale) *Table {
 // strategies returned by the search are locally optimal — no single-op
 // configuration change improves them — for the benchmarks on small
 // device counts.
-func LocalOptimality(scale Scale, modelNames []string, deviceCounts []int) *Table {
+func LocalOptimality(ctx context.Context, scale Scale, modelNames []string, deviceCounts []int) *Table {
 	t := &Table{
 		ID:     "optimality-local",
 		Title:  "Local optimality study (Section 8.4)",
@@ -99,11 +100,11 @@ func LocalOptimality(scale Scale, modelNames []string, deviceCounts []int) *Tabl
 		est := estimator()
 		opts := scale.searchOpts()
 		opts.MaxIters = 3000
-		res := search.MCMC(c.g, topo, est, search.Initials(c.g, topo, scale.Seed, true), opts)
+		res := search.MCMC(ctx, c.g, topo, est, search.Initials(c.g, topo, scale.Seed, true), opts)
 		// The optimizer finishes with a local-descent pass (see
 		// search.Polish), so the returned strategy is locally
 		// optimal by construction; verify it anyway.
-		polished, polishedCost := search.Polish(c.g, topo, est, res.Best, enumForScale(scale, topo), taskgraph.Options{}, 0)
+		polished, polishedCost := search.Polish(ctx, c.g, topo, est, res.Best, search.PolishOptions{Enum: enumForScale(scale, topo)})
 		if polishedCost < res.BestCost {
 			res.Best, res.BestCost = polished, polishedCost
 		}

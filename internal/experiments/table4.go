@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -21,7 +22,7 @@ import (
 //
 // The two runs stay strictly sequential: the experiment's subject is
 // their wall-clock ratio, which running them concurrently would skew.
-func Fig12(scale Scale, gpus int) *Table {
+func Fig12(ctx context.Context, scale Scale, gpus int) *Table {
 	if gpus == 0 {
 		gpus = 16
 		if scale.ModelFactor > 1 {
@@ -35,13 +36,13 @@ func Fig12(scale Scale, gpus int) *Table {
 	t := &Table{
 		ID:     "fig12",
 		Title:  fmt.Sprintf("Search progress, full vs delta simulation (NMT, %d P100 GPUs)", gpus),
-		Header: []string{"algorithm", "elapsed", "best-found"},
+		Header: []string{"algorithm", "virtual-elapsed", "best-found"},
 	}
 	run := func(name string, full bool) time.Duration {
 		est := estimator()
 		opts := scale.searchOpts()
 		opts.FullSim = full
-		res := search.MCMC(g, topo, est, []*config.Strategy{config.DataParallel(g, topo)}, opts)
+		res := search.MCMC(ctx, g, topo, est, []*config.Strategy{config.DataParallel(g, topo)}, opts)
 		// Sample the trace at a few points.
 		step := len(res.Trace)/6 + 1
 		for i := 0; i < len(res.Trace); i += step {
@@ -57,6 +58,7 @@ func Fig12(scale Scale, gpus int) *Table {
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("wall-clock for the same proposal budget: full=%v delta=%v (%.1fx)",
 			fullTime, deltaTime, float64(fullTime)/float64(deltaTime)),
+		"virtual-elapsed is the chains' deterministic clock (calibrated per-proposal cost), so the trace replays exactly",
 		"paper: full and delta terminate in 16 vs 6 minutes on NMT/16 P100")
 	return t
 }
@@ -67,7 +69,7 @@ func Fig12(scale Scale, gpus int) *Table {
 //
 // Shape to match: delta is consistently faster (paper: 2.2-6.9x) and its
 // advantage grows with the number of devices.
-func Table4(scale Scale, modelNames []string) *Table {
+func Table4(ctx context.Context, scale Scale, modelNames []string) *Table {
 	t := &Table{
 		ID:     "table4",
 		Title:  "End-to-end search time: full vs delta simulation (seconds)",
@@ -109,7 +111,7 @@ func Table4(scale Scale, modelNames []string) *Table {
 			opts := scale.searchOpts()
 			opts.FullSim = full
 			opts.Budget = 0 // measure a fixed proposal budget
-			res := search.MCMC(c.g, topo, est, []*config.Strategy{config.DataParallel(c.g, topo)}, opts)
+			res := search.MCMC(ctx, c.g, topo, est, []*config.Strategy{config.DataParallel(c.g, topo)}, opts)
 			return res.SearchTime
 		}
 		fullT := timeFor(true)

@@ -133,8 +133,18 @@ func (m *AnalyticModel) ExecTime(op *graph.Op, out tensor.Region, dev device.Dev
 }
 
 // cacheKey identifies an operator task signature. Execution time depends
-// only on op kind, output size per dimension, reduction depth, kernel
-// geometry and the device model — never on tensor contents (A1).
+// only on op kind, output size per dimension, input region extents,
+// reduction depth, kernel geometry and the device model — never on
+// tensor contents (A1).
+//
+// The input extents matter for more than accuracy: the cache is shared
+// by concurrent search chains, and first-writer-wins on a key whose
+// tasks could measure *different* values (same kind and output size,
+// different input geometry — adjacent RNN steps, halo-clipped conv
+// tasks) would make the cached value scheduling-dependent, breaking the
+// search layer's worker-count determinism contract. With the inputs
+// folded into the key, every task mapping to a key measures the same
+// value, so fill order is irrelevant.
 type cacheKey struct {
 	kind             graph.OpKind
 	pass             Pass
@@ -142,6 +152,7 @@ type cacheKey struct {
 	inChannels       int
 	kernelH, kernelW int
 	sizes            [4]int32 // output region extents, padded with zeros
+	inputs           uint64   // FNV-1a over the input regions' extents
 }
 
 func keyFor(op *graph.Op, out tensor.Region, dev device.Device, pass Pass) cacheKey {
@@ -157,6 +168,18 @@ func keyFor(op *graph.Op, out tensor.Region, dev device.Device, pass Pass) cache
 	}
 	for i := 0; i < n; i++ {
 		k.sizes[i] = int32(out.Iv[i].Len())
+	}
+	if pass != Update {
+		// Update cost depends only on the output (weight-shard) volume.
+		const offset64, prime64 = 14695981039346656037, 1099511628211
+		h := uint64(offset64)
+		for _, r := range graph.InputRegions(op, out) {
+			for i := 0; i < r.Rank(); i++ {
+				h = (h ^ uint64(r.Iv[i].Len())) * prime64
+			}
+			h = (h ^ 0xff) * prime64 // region separator
+		}
+		k.inputs = h
 	}
 	return k
 }

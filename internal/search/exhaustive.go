@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math"
 	"sync/atomic"
 	"time"
@@ -28,6 +29,10 @@ type ExhaustiveOptions struct {
 	// NumCPU). The optimum cost is identical for every value; see the
 	// package comment for what stays deterministic.
 	Workers int
+	// OnEvent, when non-nil, receives a progress event every time a
+	// worker improves the shared pruning bound (Chain = subtree prefix
+	// index). Called concurrently; must be safe for concurrent use.
+	OnEvent func(ProgressEvent)
 }
 
 // ExhaustiveResult reports the global optimum found.
@@ -55,7 +60,11 @@ type ExhaustiveResult struct {
 // count. Explored/Pruned counts (and tie-breaking between equal-cost
 // optima) depend on how quickly the bound propagates and are therefore
 // scheduling-dependent when Workers > 1.
-func Exhaustive(g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, opts ExhaustiveOptions) ExhaustiveResult {
+//
+// Cancelling ctx makes every worker abandon its remaining subtree; the
+// best strategy simulated before the cancellation is returned (Best is
+// nil if no leaf was reached yet).
+func Exhaustive(ctx context.Context, g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, opts ExhaustiveOptions) ExhaustiveResult {
 	ops := g.ComputeOps()
 	candidates := make([][]*config.Config, len(ops))
 	minTask := make([][]time.Duration, len(ops)) // min task exe per candidate
@@ -119,10 +128,13 @@ func Exhaustive(g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, 
 	}
 	enum(0, nil)
 
-	// The shared admissible bound plus work counters.
+	// The shared admissible bound plus work counters. stop latches the
+	// context cancellation so the hot DFS loop reads one atomic instead
+	// of polling the context at every node.
 	var bound atomic.Int64
 	bound.Store(int64(res.BestCost))
 	var explored, pruned atomic.Int64
+	var stop atomic.Bool
 
 	type subtreeBest struct {
 		cost  time.Duration
@@ -131,28 +143,50 @@ func Exhaustive(g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, 
 	bests := make([]subtreeBest, len(prefixes))
 
 	par.ForEach(opts.Workers, len(prefixes), func(pi int) {
+		if stop.Load() {
+			return
+		}
+		if cancelled(ctx) {
+			stop.Store(true)
+			return
+		}
 		chosen := make([]int, len(ops))
 		strat := config.NewStrategy(g)
 		local := subtreeBest{cost: math.MaxInt64}
 
 		var dfs func(depth int, prefixLB time.Duration)
 		dfs = func(depth int, prefixLB time.Duration) {
+			if stop.Load() {
+				return
+			}
 			if depth == len(ops) {
 				for i, op := range ops {
 					strat.Set(op.ID, candidates[i][chosen[i]])
 				}
 				tg := taskgraph.Build(g, topo, strat, est, opts.TaskOpts)
 				cost := sim.NewState(tg).Simulate()
-				explored.Add(1)
+				n := explored.Add(1)
 				if cost < local.cost {
 					local.cost = cost
 					local.strat = strat.Clone()
 				}
 				for {
 					cur := bound.Load()
-					if int64(cost) >= cur || bound.CompareAndSwap(cur, int64(cost)) {
+					if int64(cost) >= cur {
 						break
 					}
+					if bound.CompareAndSwap(cur, int64(cost)) {
+						emit(opts.OnEvent, ProgressEvent{
+							Algorithm: "exhaustive", Chain: pi, Iter: int(n), BestCost: cost,
+						})
+						break
+					}
+				}
+				// Poll the context at leaves only: leaves carry the
+				// simulation cost, so the poll frequency tracks the
+				// actual work done.
+				if cancelled(ctx) {
+					stop.Store(true)
 				}
 				return
 			}
@@ -213,25 +247,48 @@ func minTaskTime(op *graph.Op, c *config.Config, topo *device.Topology, est perf
 	return best
 }
 
+// PolishOptions configure the local-descent pass.
+type PolishOptions struct {
+	// Enum bounds the per-op candidate configurations of the neighbour
+	// set.
+	Enum config.EnumOptions
+	// TaskOpts are forwarded to the task-graph builder.
+	TaskOpts taskgraph.Options
+	// MaxRounds caps the descent rounds (0 = default 20).
+	MaxRounds int
+	// OnEvent, when non-nil, receives one progress event per completed
+	// round (Chain = round index).
+	OnEvent func(ProgressEvent)
+}
+
 // Polish hill-climbs a strategy to a local optimum: repeatedly replace
 // the single-op configuration whose change improves the simulated time
-// the most, until no one-op change helps. The paper observes that all
-// strategies returned by its search were locally optimal (Section 8.4);
-// Polish makes that property structural for modest search budgets.
-func Polish(g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, s *config.Strategy, enum config.EnumOptions, taskOpts taskgraph.Options, maxRounds int) (*config.Strategy, time.Duration) {
+// the most, until no one-op change helps or ctx is cancelled (the best
+// strategy reached so far is returned either way). The paper observes
+// that all strategies returned by its search were locally optimal
+// (Section 8.4); Polish makes that property structural for modest search
+// budgets.
+func Polish(ctx context.Context, g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, s *config.Strategy, opts PolishOptions) (*config.Strategy, time.Duration) {
+	maxRounds := opts.MaxRounds
 	if maxRounds <= 0 {
 		maxRounds = 20
 	}
 	cur := s.Clone()
-	tg := taskgraph.Build(g, topo, cur.Clone(), est, taskOpts)
+	tg := taskgraph.Build(g, topo, cur.Clone(), est, opts.TaskOpts)
 	st := sim.NewState(tg)
 	best := st.Simulate()
 	for round := 0; round < maxRounds; round++ {
-		cost, improving, _ := Neighborhood(g, topo, est, cur, enum, taskOpts)
+		if cancelled(ctx) {
+			break
+		}
+		cost, improving, checked := Neighborhood(g, topo, est, cur, opts.Enum, opts.TaskOpts)
 		if improving == nil || cost >= best {
 			break
 		}
 		cur, best = improving, cost
+		emit(opts.OnEvent, ProgressEvent{
+			Algorithm: "polish", Chain: round, Iter: checked, BestCost: best,
+		})
 	}
 	return cur, best
 }

@@ -5,6 +5,10 @@
 // (Section 8.4), a local-optimality checker, the OptCNN dynamic program,
 // and a REINFORCE-style device-placement learner.
 //
+// Every optimizer takes a context.Context and stops promptly when it is
+// cancelled, returning the best strategy found so far; streaming
+// progress is reported through an OnEvent callback (see ProgressEvent).
+//
 // # Concurrency and determinism
 //
 // MCMC runs its independent chains (one per initial strategy, Section
@@ -15,13 +19,17 @@
 // walk of chain i is one fixed sequence no matter how many workers
 // execute the pool or in which order chains are scheduled.
 //
-// The determinism contract: with Budget == 0 and Cancel == nil the
-// result (Best, BestCost, Iters, Accepted, SimStats) is bit-identical
-// for every Workers value, including 1. A wall-clock Budget reintroduces
-// time-based stopping (the paper's "no improvement for half the search
-// time" criterion, evaluated against the shared best-so-far of all
-// chains), so budgeted runs remain seed-reproducible per proposal stream
-// but may cut chains at different iteration counts run to run.
+// Budgets are charged in virtual time: every proposal costs a
+// calibrated, deterministic amount (see proposalCost), so Budget > 0
+// bounds a fixed proposal count per chain and the paper's
+// "no improvement for half the search time" criterion is evaluated
+// against the chain's virtual clock. The determinism contract is
+// therefore unconditional: for a fixed Seed the result (Best, BestCost,
+// Iters, Accepted, Trace, SimStats — everything except the wall-clock
+// SearchTime) is bit-identical for every Workers value, budgeted or
+// not, run to run. Wall-clock limits belong to the context (use
+// context.WithTimeout), which trades that reproducibility for a hard
+// deadline.
 //
 // Exhaustive fans its pruned DFS out over the same pool; BestCost stays
 // deterministic (the shared bound only ever prunes subtrees that cannot
@@ -29,9 +37,9 @@
 package search
 
 import (
+	"context"
 	"math"
 	"math/rand"
-	"sync/atomic"
 	"time"
 
 	"flexflow/internal/config"
@@ -80,8 +88,11 @@ type Options struct {
 	Beta float64
 	// MaxIters caps the number of proposals per initial strategy.
 	MaxIters int
-	// Budget caps wall-clock search time per initial strategy
-	// (0 = unlimited; MaxIters still applies).
+	// Budget caps the *virtual* search time per initial strategy
+	// (0 = unlimited; MaxIters still applies). Proposals are charged a
+	// calibrated deterministic cost (see proposalCost), so a budgeted
+	// run executes a fixed proposal count and replays exactly. Bound
+	// wall-clock time through the context instead.
 	Budget time.Duration
 	// Seed makes the search reproducible.
 	Seed int64
@@ -105,11 +116,11 @@ type Options struct {
 	// Results are identical for every value; see the package comment
 	// for the determinism contract.
 	Workers int
-	// Cancel, when non-nil, stops the search early once closed: every
-	// chain finishes its current proposal and returns, and MCMC reports
-	// the best strategy found so far. Combined with Budget this gives a
-	// cancellable time budget.
-	Cancel <-chan struct{}
+	// OnEvent, when non-nil, receives streaming progress events: one
+	// per chain-best improvement plus a final event per chain. It is
+	// called from the chain goroutines concurrently and must be safe
+	// for concurrent use.
+	OnEvent func(ProgressEvent)
 }
 
 // DefaultOptions returns the configuration used by the experiments.
@@ -117,7 +128,8 @@ func DefaultOptions() Options {
 	return Options{Beta: 15, MaxIters: 2000, Seed: 1}
 }
 
-// TracePoint records search progress for Figure 12.
+// TracePoint records search progress for Figure 12. Elapsed is the
+// chain's virtual search time (deterministic), not wall clock.
 type TracePoint struct {
 	Iter     int
 	Elapsed  time.Duration
@@ -130,7 +142,8 @@ type Result struct {
 	BestCost time.Duration
 	// Iters and Accepted count proposals and accepted proposals.
 	Iters, Accepted int
-	// SearchTime is the wall-clock time the optimizer ran for.
+	// SearchTime is the wall-clock time the optimizer ran for (the only
+	// field of a Result that is not deterministic).
 	SearchTime time.Duration
 	Trace      []TracePoint
 	SimStats   sim.Stats
@@ -147,52 +160,15 @@ func chainSeed(master int64, chain int) int64 {
 	return int64(z ^ (z >> 31))
 }
 
-// progress is the cross-chain shared state: the best cost any chain has
-// reached and when it was reached, both atomics so chains publish and
-// observe global improvements without locks. It only feeds the
-// wall-clock stopping criterion (active when Budget > 0), so it never
-// perturbs the deterministic iteration-budgeted walk.
-type progress struct {
-	start   time.Time
-	best    atomic.Int64 // lowest cost found by any chain, in ns
-	improve atomic.Int64 // time of the latest global improvement, ns since start
-}
-
-func newProgress(start time.Time) *progress {
-	p := &progress{start: start}
-	p.best.Store(math.MaxInt64)
-	return p
-}
-
-// record publishes a chain's new best cost, timestamping the improvement
-// if it beats the global best.
-func (p *progress) record(cost time.Duration) {
-	for {
-		cur := p.best.Load()
-		if int64(cost) >= cur {
-			return
-		}
-		if p.best.CompareAndSwap(cur, int64(cost)) {
-			p.improve.Store(int64(time.Since(p.start)))
-			return
-		}
-	}
-}
-
-// sinceImprove reports how long ago any chain last improved the global
-// best.
-func (p *progress) sinceImprove() time.Duration {
-	return time.Since(p.start) - time.Duration(p.improve.Load())
-}
-
 // MCMC explores the SOAP space from each initial strategy — one chain
 // per initial, run across Options.Workers goroutines — and returns the
 // best strategy discovered overall. Each chain ends when its iteration
-// or time budget is exhausted, when Options.Cancel is closed, or when
-// neither it nor any sibling chain has improved the shared best-so-far
-// for half of its elapsed search time (the paper's stopping criterion,
-// applied against global progress).
-func MCMC(g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, initials []*config.Strategy, opts Options) Result {
+// or virtual-time budget is exhausted, when ctx is cancelled, or when it
+// has not improved its best for half of its elapsed virtual search time
+// (the paper's stopping criterion on the deterministic clock). On
+// cancellation the best strategy found so far is returned; inspect
+// ctx.Err() to distinguish a cancelled run from a completed one.
+func MCMC(ctx context.Context, g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, initials []*config.Strategy, opts Options) Result {
 	if opts.Beta == 0 {
 		opts.Beta = DefaultOptions().Beta
 	}
@@ -208,11 +184,10 @@ func MCMC(g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, initia
 	if topo.NumDevices() > 0 {
 		topo.Route(0, 0)
 	}
-	shared := newProgress(start)
 	results := make([]Result, len(initials))
 	par.ForEach(opts.Workers, len(initials), func(i int) {
 		rng := rand.New(rand.NewSource(chainSeed(opts.Seed, i)))
-		results[i] = runChain(g, topo, est, initials[i], opts, rng, start, shared)
+		results[i] = runChain(ctx, g, topo, est, initials[i], i, opts, rng)
 	})
 	// Merge in chain-index order, so ties between chains resolve the
 	// same way no matter which worker finished first.
@@ -233,7 +208,7 @@ func MCMC(g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, initia
 	return best
 }
 
-func runChain(g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, init *config.Strategy, opts Options, rng *rand.Rand, globalStart time.Time, shared *progress) Result {
+func runChain(ctx context.Context, g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, init *config.Strategy, chain int, opts Options, rng *rand.Rand) Result {
 	chainStart := time.Now()
 	cur := init.Clone()
 	// Delta mode keeps one task graph + timeline alive across proposals;
@@ -243,15 +218,21 @@ func runChain(g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, in
 	st := sim.NewState(tg)
 	cost := st.Simulate()
 
+	// The chain's deterministic clock: every proposal advances it by a
+	// calibrated amount that depends only on the task-graph size, so the
+	// budget and the half-time stopping criterion replay exactly.
+	perProposal := proposalCost(len(tg.Tasks), opts.FullSim)
+	virtual := func(it int) time.Duration { return time.Duration(it) * perProposal }
+
 	res := Result{
 		Best:     cur.Clone(),
 		BestCost: cost,
-		Trace:    []TracePoint{{Iter: 0, Elapsed: time.Since(globalStart), BestCost: cost}},
+		Trace:    []TracePoint{{Iter: 0, Elapsed: 0, BestCost: cost}},
 	}
-	shared.record(cost)
+	emit(opts.OnEvent, ProgressEvent{Algorithm: "mcmc", Chain: chain, Iter: 0, BestCost: cost})
 	ops := g.ComputeOps()
 	allowed := opts.Space.allowed()
-	lastImprove := time.Now()
+	lastImprove := time.Duration(0) // virtual time of the last chain-best improvement
 
 	// Incremental memory accounting: running per-device totals plus
 	// per-op contributions, updated as proposals are accepted.
@@ -295,36 +276,33 @@ func runChain(g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, in
 		opMem[op.ID] = newFP
 	}
 
+	finish := func() Result {
+		res.SimStats = st.Stats
+		res.SearchTime = time.Since(chainStart)
+		emit(opts.OnEvent, ProgressEvent{
+			Algorithm: "mcmc", Chain: chain, Iter: res.Iters,
+			BestCost: res.BestCost, Elapsed: virtual(res.Iters), Final: true,
+		})
+		return res
+	}
+
 	for it := 1; it <= opts.MaxIters; it++ {
-		if opts.Cancel != nil {
-			select {
-			case <-opts.Cancel:
-				res.SimStats = st.Stats
-				res.SearchTime = time.Since(chainStart)
-				return res
-			default:
-			}
+		if cancelled(ctx) {
+			return finish()
 		}
-		elapsed := time.Since(chainStart)
+		elapsed := virtual(it)
 		if opts.Budget > 0 && elapsed > opts.Budget {
 			break
 		}
 		// Criterion 2 of Section 6.2: stop when the best strategy has
-		// not improved for half of the search time — measured against
-		// global progress: a chain keeps searching while it *or any
-		// sibling chain* is still improving the shared best. The
-		// criterion is defined relative to the time budget, so it only
-		// applies when one is set; iteration-budgeted runs (e.g. the
-		// Table 4 timing comparison) execute their full proposal count
-		// and stay deterministic.
-		if opts.Budget > 0 && elapsed > 100*time.Millisecond {
-			sinceImprove := time.Since(lastImprove)
-			if g := shared.sinceImprove(); g < sinceImprove {
-				sinceImprove = g
-			}
-			if sinceImprove > elapsed/2 {
-				break
-			}
+		// not improved for half of the search time — on the chain's
+		// virtual clock, so budgeted runs stop at the same proposal
+		// count every run. The criterion is defined relative to the
+		// time budget, so it only applies when one is set; iteration-
+		// budgeted runs (e.g. the Table 4 timing comparison) execute
+		// their full proposal count.
+		if opts.Budget > 0 && elapsed > 100*time.Millisecond && elapsed-lastImprove > elapsed/2 {
+			break
 		}
 
 		op := ops[rng.Intn(len(ops))]
@@ -365,9 +343,11 @@ func runChain(g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, in
 			if newCost < res.BestCost {
 				res.BestCost = newCost
 				res.Best = cur.Clone()
-				res.Trace = append(res.Trace, TracePoint{Iter: it, Elapsed: time.Since(globalStart), BestCost: newCost})
-				lastImprove = time.Now()
-				shared.record(newCost)
+				res.Trace = append(res.Trace, TracePoint{Iter: it, Elapsed: elapsed, BestCost: newCost})
+				lastImprove = elapsed
+				emit(opts.OnEvent, ProgressEvent{
+					Algorithm: "mcmc", Chain: chain, Iter: it, BestCost: newCost, Elapsed: elapsed,
+				})
 			}
 		} else {
 			// Revert the proposal.
@@ -378,9 +358,7 @@ func runChain(g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, in
 			}
 		}
 	}
-	res.SimStats = st.Stats
-	res.SearchTime = time.Since(chainStart)
-	return res
+	return finish()
 }
 
 // accept implements the Metropolis-Hastings criterion of Eq. (2) with a

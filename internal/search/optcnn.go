@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"time"
 
 	"flexflow/internal/config"
@@ -26,11 +27,14 @@ func gridRegion(op *graph.Op, c *config.Config, k int) tensor.Region {
 // order and fix each producer's configuration before its consumers (a
 // faithful "linearized" extension that still cannot exploit inter-op
 // parallelism — the gap Figure 10b measures).
-func OptCNN(g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, enum config.EnumOptions) *config.Strategy {
+//
+// The context is polled between ops; a cancelled DP has no meaningful
+// partial answer, so cancellation returns (nil, ctx.Err()).
+func OptCNN(ctx context.Context, g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, enum config.EnumOptions) (*config.Strategy, error) {
 	if g.IsLinear() {
-		return optCNNChainDP(g, topo, est, enum)
+		return optCNNChainDP(ctx, g, topo, est, enum)
 	}
-	return optCNNGreedyTopo(g, topo, est, enum)
+	return optCNNGreedyTopo(ctx, g, topo, est, enum)
 }
 
 // opCost is OptCNN's per-op term: the parallel computation time of the
@@ -116,7 +120,7 @@ func edgeCost(prod *graph.Op, pc *config.Config, cons *graph.Op, cc *config.Conf
 	return worst
 }
 
-func optCNNChainDP(g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, enum config.EnumOptions) *config.Strategy {
+func optCNNChainDP(ctx context.Context, g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, enum config.EnumOptions) (*config.Strategy, error) {
 	ops := g.ComputeOps()
 	cands := make([][]*config.Config, len(ops))
 	for i, op := range ops {
@@ -128,6 +132,9 @@ func optCNNChainDP(g *graph.Graph, topo *device.Topology, est perfmodel.Estimato
 	dp := make([][]time.Duration, len(ops))
 	back := make([][]int, len(ops))
 	for i, op := range ops {
+		if cancelled(ctx) {
+			return nil, ctx.Err()
+		}
 		dp[i] = make([]time.Duration, len(cands[i]))
 		back[i] = make([]int, len(cands[i]))
 		// Index of the compute producer among op.Inputs, if any.
@@ -181,12 +188,15 @@ func optCNNChainDP(g *graph.Graph, topo *device.Topology, est perfmodel.Estimato
 			}
 		}
 	}
-	return s
+	return s, nil
 }
 
-func optCNNGreedyTopo(g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, enum config.EnumOptions) *config.Strategy {
+func optCNNGreedyTopo(ctx context.Context, g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, enum config.EnumOptions) (*config.Strategy, error) {
 	s := config.NewStrategy(g)
 	for _, op := range g.ComputeOps() {
+		if cancelled(ctx) {
+			return nil, ctx.Err()
+		}
 		cands := config.Enumerate(op, topo, enum)
 		best := time.Duration(1<<62 - 1)
 		var bestCfg *config.Config
@@ -204,5 +214,5 @@ func optCNNGreedyTopo(g *graph.Graph, topo *device.Topology, est perfmodel.Estim
 		}
 		s.Set(op.ID, bestCfg)
 	}
-	return s
+	return s, nil
 }

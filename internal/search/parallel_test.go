@@ -1,7 +1,9 @@
 package search
 
 import (
+	"context"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -29,10 +31,10 @@ func parallelCases() []struct {
 }
 
 // TestMCMCParallelMatchesSerial is the determinism differential of the
-// concurrent runtime: for a fixed seed and iteration budget (Budget ==
-// 0, the deterministic regime), the search must return bit-identical
-// results no matter how many workers execute the chain pool. Run under
-// -race this also certifies the fan-out shares no unsynchronized state.
+// concurrent runtime: for a fixed seed and iteration budget the search
+// must return bit-identical results no matter how many workers execute
+// the chain pool. Run under -race this also certifies the fan-out shares
+// no unsynchronized state.
 func TestMCMCParallelMatchesSerial(t *testing.T) {
 	t.Parallel()
 	for _, c := range parallelCases() {
@@ -45,10 +47,10 @@ func TestMCMCParallelMatchesSerial(t *testing.T) {
 			initials := Initials(c.g, topo, seed, true)
 
 			opts.Workers = 1
-			serial := MCMC(c.g, topo, est, initials, opts)
+			serial := MCMC(context.Background(), c.g, topo, est, initials, opts)
 			for _, workers := range []int{runtime.NumCPU(), 3} {
 				opts.Workers = workers
-				pl := MCMC(c.g, topo, est, initials, opts)
+				pl := MCMC(context.Background(), c.g, topo, est, initials, opts)
 				if pl.BestCost != serial.BestCost {
 					t.Errorf("%s seed %d workers %d: BestCost %v != serial %v", c.name, seed, workers, pl.BestCost, serial.BestCost)
 				}
@@ -67,6 +69,55 @@ func TestMCMCParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestMCMCVirtualBudgetDeterministic pins the virtual-time budget
+// contract: a Budget > 0 run stops on the chains' deterministic virtual
+// clocks, so everything but the wall-clock SearchTime — including the
+// proposal count at which each chain stopped and the full trace — is
+// bit-identical across invocations and across Workers values.
+func TestMCMCVirtualBudgetDeterministic(t *testing.T) {
+	t.Parallel()
+	g := tinyMLP()
+	topo := device.NewSingleNode(4, "P100")
+	est := perfmodel.NewAnalyticModel()
+	opts := DefaultOptions()
+	opts.MaxIters = 1 << 20 // budget, not MaxIters, must stop the chains
+	opts.Budget = 10 * time.Millisecond
+	opts.Seed = 3
+	initials := Initials(g, topo, 3, true)
+
+	same := func(a, b Result) bool {
+		if a.BestCost != b.BestCost || !a.Best.Equal(b.Best) ||
+			a.Iters != b.Iters || a.Accepted != b.Accepted ||
+			a.SimStats != b.SimStats || len(a.Trace) != len(b.Trace) {
+			return false
+		}
+		for i := range a.Trace {
+			if a.Trace[i] != b.Trace[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	opts.Workers = 1
+	ref := MCMC(context.Background(), g, topo, est, initials, opts)
+	if ref.Iters == 0 || ref.Iters >= opts.MaxIters {
+		t.Fatalf("budget did not bind: %d proposals", ref.Iters)
+	}
+	replay := MCMC(context.Background(), g, topo, est, initials, opts)
+	if !same(ref, replay) {
+		t.Fatalf("two budgeted invocations diverged: %d/%d iters", ref.Iters, replay.Iters)
+	}
+	for _, workers := range []int{2, runtime.NumCPU()} {
+		opts.Workers = workers
+		pl := MCMC(context.Background(), g, topo, est, initials, opts)
+		if !same(ref, pl) {
+			t.Fatalf("workers=%d budgeted run diverged from serial: %d vs %d iters, %v vs %v",
+				workers, pl.Iters, ref.Iters, pl.BestCost, ref.BestCost)
+		}
+	}
+}
+
 // Shared estimator caches must not perturb the walk either: the
 // MeasuringEstimator resolves concurrent misses to the same value, so
 // parallel chains sharing one cache still reproduce the serial result.
@@ -81,7 +132,7 @@ func TestMCMCParallelSharedMeasuringEstimator(t *testing.T) {
 	run := func(workers int) Result {
 		est := perfmodel.NewMeasuringEstimator(perfmodel.NewAnalyticModel().ExecTime, 1)
 		opts.Workers = workers
-		return MCMC(g, topo, est, initials, opts)
+		return MCMC(context.Background(), g, topo, est, initials, opts)
 	}
 	serial := run(1)
 	parallel := run(runtime.NumCPU())
@@ -91,16 +142,15 @@ func TestMCMCParallelSharedMeasuringEstimator(t *testing.T) {
 	}
 }
 
-func TestMCMCCancel(t *testing.T) {
+func TestMCMCContextAlreadyCancelled(t *testing.T) {
 	t.Parallel()
 	g := tinyMLP()
 	topo := device.NewSingleNode(4, "P100")
-	cancel := make(chan struct{})
-	close(cancel) // cancelled before it starts: every chain returns after its initial sim
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before it starts: every chain returns after its initial sim
 	opts := DefaultOptions()
 	opts.MaxIters = 100000
-	opts.Cancel = cancel
-	res := MCMC(g, topo, perfmodel.NewAnalyticModel(), Initials(g, topo, 1, false), opts)
+	res := MCMC(ctx, g, topo, perfmodel.NewAnalyticModel(), Initials(g, topo, 1, false), opts)
 	if res.Iters != 0 {
 		t.Fatalf("cancelled search still ran %d proposals", res.Iters)
 	}
@@ -113,25 +163,66 @@ func TestMCMCCancelMidFlight(t *testing.T) {
 	t.Parallel()
 	g := tinyMLP()
 	topo := device.NewSingleNode(4, "P100")
-	cancel := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
 	opts := DefaultOptions()
-	opts.MaxIters = 1 << 30 // effectively unbounded: only Cancel can stop it
-	opts.Budget = 0
-	opts.Cancel = cancel
+	opts.MaxIters = 1 << 30 // effectively unbounded: only ctx can stop it
 	opts.Workers = 2
 	done := make(chan Result, 1)
 	go func() {
-		done <- MCMC(g, topo, perfmodel.NewAnalyticModel(), Initials(g, topo, 1, false), opts)
+		done <- MCMC(ctx, g, topo, perfmodel.NewAnalyticModel(), Initials(g, topo, 1, false), opts)
 	}()
 	time.Sleep(50 * time.Millisecond)
-	close(cancel)
+	cancel()
 	select {
 	case res := <-done:
 		if res.Best == nil {
 			t.Fatal("cancelled search returned no strategy")
 		}
 	case <-time.After(30 * time.Second):
-		t.Fatal("search did not stop after Cancel")
+		t.Fatal("search did not stop after cancel")
+	}
+}
+
+// TestMCMCProgressEvents checks the streaming contract: a per-chain
+// iter-0 event, events on improvements, and one Final event per chain,
+// with BestCost matching the returned result.
+func TestMCMCProgressEvents(t *testing.T) {
+	t.Parallel()
+	g := tinyMLP()
+	topo := device.NewSingleNode(4, "P100")
+	opts := DefaultOptions()
+	opts.MaxIters = 200
+	var mu sync.Mutex
+	var events []ProgressEvent
+	opts.OnEvent = func(ev ProgressEvent) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	}
+	initials := Initials(g, topo, 1, true)
+	res := MCMC(context.Background(), g, topo, perfmodel.NewAnalyticModel(), initials, opts)
+
+	finals := 0
+	var finalBest time.Duration = 1<<62 - 1
+	for _, ev := range events {
+		if ev.Algorithm != "mcmc" {
+			t.Fatalf("wrong algorithm %q", ev.Algorithm)
+		}
+		if ev.Chain < 0 || ev.Chain >= len(initials) {
+			t.Fatalf("chain %d out of range", ev.Chain)
+		}
+		if ev.Final {
+			finals++
+			if ev.BestCost < finalBest {
+				finalBest = ev.BestCost
+			}
+		}
+	}
+	if finals != len(initials) {
+		t.Fatalf("final events = %d, want one per chain (%d)", finals, len(initials))
+	}
+	if finalBest != res.BestCost {
+		t.Fatalf("best final event %v != result %v", finalBest, res.BestCost)
 	}
 }
 
@@ -150,14 +241,14 @@ func TestExhaustiveParallelMatchesSerial(t *testing.T) {
 	}
 
 	base.Workers = 1
-	serial := Exhaustive(g, topo, est, base)
+	serial := Exhaustive(context.Background(), g, topo, est, base)
 	if serial.Best == nil {
 		t.Fatal("serial exhaustive found nothing")
 	}
 	for _, workers := range []int{2, runtime.NumCPU()} {
 		opts := base
 		opts.Workers = workers
-		pl := Exhaustive(g, topo, est, opts)
+		pl := Exhaustive(context.Background(), g, topo, est, opts)
 		if pl.BestCost != serial.BestCost {
 			t.Errorf("workers=%d: BestCost %v != serial %v", workers, pl.BestCost, serial.BestCost)
 		}
@@ -169,6 +260,62 @@ func TestExhaustiveParallelMatchesSerial(t *testing.T) {
 		if pl.SpaceSize != serial.SpaceSize {
 			t.Errorf("workers=%d: space size %g != %g", workers, pl.SpaceSize, serial.SpaceSize)
 		}
+	}
+}
+
+func TestExhaustiveCancelled(t *testing.T) {
+	t.Parallel()
+	g := models.LeNet(32)
+	topo := device.NewSingleNode(2, "P100")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := Exhaustive(ctx, g, topo, perfmodel.NewAnalyticModel(), ExhaustiveOptions{
+		Enum:               config.EnumOptions{MaxDegree: 2},
+		MaxCandidatesPerOp: 4,
+	})
+	if res.Explored != 0 {
+		t.Fatalf("pre-cancelled DFS still simulated %d leaves", res.Explored)
+	}
+}
+
+// TestReinforceParallelMatchesSerial is the episode-rollout analogue of
+// the MCMC differential (ROADMAP item): per-episode derived seeds plus
+// batch-snapshot sampling make the learner bit-identical for every
+// Workers value. Run under -race this certifies the rollout fan-out.
+func TestReinforceParallelMatchesSerial(t *testing.T) {
+	t.Parallel()
+	for _, c := range parallelCases() {
+		topo := device.NewSingleNode(4, "P100")
+		est := perfmodel.NewAnalyticModel()
+		opts := DefaultReinforceOptions()
+		opts.Episodes = 60
+		opts.Seed = 5
+
+		opts.Workers = 1
+		serial := Reinforce(context.Background(), c.g, topo, est, opts)
+		if serial.Best == nil || serial.Episodes != 60 {
+			t.Fatalf("%s: degenerate serial result %+v", c.name, serial)
+		}
+		for _, workers := range []int{3, runtime.NumCPU()} {
+			opts.Workers = workers
+			pl := Reinforce(context.Background(), c.g, topo, est, opts)
+			if pl.BestCost != serial.BestCost || !pl.Best.Equal(serial.Best) || pl.Episodes != serial.Episodes {
+				t.Errorf("%s workers %d: %v/%d episodes != serial %v/%d",
+					c.name, workers, pl.BestCost, pl.Episodes, serial.BestCost, serial.Episodes)
+			}
+		}
+	}
+}
+
+func TestReinforceCancelled(t *testing.T) {
+	t.Parallel()
+	g := tinyMLP()
+	topo := device.NewSingleNode(2, "P100")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := Reinforce(ctx, g, topo, perfmodel.NewAnalyticModel(), DefaultReinforceOptions())
+	if res.Episodes != 0 {
+		t.Fatalf("pre-cancelled learner still ran %d episodes", res.Episodes)
 	}
 }
 

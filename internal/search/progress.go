@@ -1,0 +1,91 @@
+package search
+
+import (
+	"context"
+	"time"
+)
+
+// ProgressEvent is one streaming progress sample from a running
+// optimizer. Every algorithm in this package reports through the same
+// event shape so consumers (the CLI's -progress mode, the facade's
+// OnEvent callback) need no per-algorithm handling.
+//
+// Events are emitted from the optimizer's worker goroutines as they
+// happen, so a callback must be safe for concurrent use and must not
+// block for long: the emitting chain stalls while the callback runs.
+// Event *ordering across chains* is scheduling-dependent; the search
+// result itself stays deterministic regardless of what the callback
+// observes.
+type ProgressEvent struct {
+	// Algorithm names the emitter ("mcmc", "exhaustive", "optcnn",
+	// "reinforce", "polish").
+	Algorithm string
+	// Chain identifies the emitting unit of parallelism: the MCMC chain
+	// index, the exhaustive DFS prefix index, the REINFORCE batch
+	// index, or the polish round.
+	Chain int
+	// Iter counts proposals (episodes, leaves, rounds) completed by the
+	// emitting chain when the event fired.
+	Iter int
+	// BestCost is the best simulated iteration time known to the
+	// emitting chain.
+	BestCost time.Duration
+	// Elapsed is the chain's elapsed virtual search time where the
+	// algorithm keeps a virtual clock (MCMC), and wall clock otherwise.
+	Elapsed time.Duration
+	// Final marks the last event a chain emits before returning.
+	Final bool
+}
+
+// emit invokes cb(ev) if a callback is installed.
+func emit(cb func(ProgressEvent), ev ProgressEvent) {
+	if cb != nil {
+		cb(ev)
+	}
+}
+
+// Virtual-time calibration. A budgeted MCMC run used to stop on the
+// wall clock, which made Budget > 0 runs nondeterministic by design.
+// The budget is now charged in virtual time: every proposal costs a
+// fixed, calibrated amount that depends only on the task-graph size and
+// the simulation algorithm, so Budget/proposalCost is a fixed proposal
+// count and budgeted runs replay exactly — across invocations and
+// across Workers values.
+//
+// The constants approximate the measured per-proposal cost of the two
+// simulation algorithms on the benchmark models (the delta algorithm
+// re-times only the tasks a proposal touches; the full algorithm
+// rebuilds and re-times the whole graph, Table 4's ~2-7x gap grows with
+// graph size). They only need to be the right order of magnitude: the
+// point is a deterministic exchange rate between seconds and proposals,
+// not a perfect cost model.
+const (
+	// virtualProposalBase is the fixed overhead charged per proposal.
+	virtualProposalBase = 25 * time.Microsecond
+	// virtualPerTaskDelta is the per-task charge of a delta-simulated
+	// proposal (only a neighbourhood of the changed op is re-timed).
+	virtualPerTaskDelta = 100 * time.Nanosecond
+	// virtualPerTaskFull is the per-task charge of a full re-simulation
+	// (BUILDTASKGRAPH plus re-timing every task).
+	virtualPerTaskFull = 1 * time.Microsecond
+)
+
+// proposalCost returns the calibrated virtual cost of one MCMC proposal
+// on a task graph of the given size.
+func proposalCost(numTasks int, fullSim bool) time.Duration {
+	per := virtualPerTaskDelta
+	if fullSim {
+		per = virtualPerTaskFull
+	}
+	return virtualProposalBase + time.Duration(numTasks)*per
+}
+
+// cancelled reports whether ctx has been cancelled, without blocking.
+func cancelled(ctx context.Context) bool {
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
+}

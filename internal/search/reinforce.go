@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"flexflow/internal/config"
 	"flexflow/internal/device"
 	"flexflow/internal/graph"
+	"flexflow/internal/par"
 	"flexflow/internal/perfmodel"
 	"flexflow/internal/sim"
 	"flexflow/internal/taskgraph"
@@ -24,6 +26,17 @@ type ReinforceOptions struct {
 	LR        float64 // policy learning rate
 	Seed      int64
 	TaskOpts  taskgraph.Options
+	// Workers bounds how many episode rollouts of a batch run
+	// concurrently (0 = NumCPU). Rollouts follow the same determinism
+	// recipe as the MCMC chains: episode e draws from a private RNG
+	// seeded by (Seed, e), each rollout samples from the batch-start
+	// policy snapshot and owns its task graph and simulator state, and
+	// results merge in episode order — so the learner is bit-identical
+	// for every Workers value.
+	Workers int
+	// OnEvent, when non-nil, receives one progress event per gradient
+	// batch (Chain = batch index, Iter = episodes completed).
+	OnEvent func(ProgressEvent)
 }
 
 // DefaultReinforceOptions mirror the small-scale settings of Section
@@ -45,51 +58,87 @@ type ReinforceResult struct {
 // paper this took 12-27 hours of real executions; with the simulator as
 // reward oracle it finishes in seconds, but the search space is
 // unchanged — which is why FlexFlow still beats it (Figure 10a).
-func Reinforce(g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, opts ReinforceOptions) ReinforceResult {
-	if opts.Episodes == 0 {
-		opts = DefaultReinforceOptions()
+//
+// Episode rollouts within a gradient batch are independent — each
+// samples placements from the batch-start policy — so they fan out over
+// the worker pool; the gradient step itself is serial and processes
+// episodes in order. Cancelling ctx stops the learner at the next batch
+// boundary with the best placement sampled so far.
+func Reinforce(ctx context.Context, g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, opts ReinforceOptions) ReinforceResult {
+	// Normalize each unset field individually so a caller setting only
+	// some options (a Seed, a Workers bound) keeps the rest.
+	def := DefaultReinforceOptions()
+	if opts.Episodes <= 0 {
+		opts.Episodes = def.Episodes
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = def.BatchSize
+	}
+	if opts.LR == 0 {
+		opts.LR = def.LR
+	}
+	if opts.Seed == 0 {
+		opts.Seed = def.Seed
+	}
 	ops := g.ComputeOps()
 	gpus := topo.GPUs()
 	logits := make([][]float64, len(ops))
 	for i := range logits {
 		logits[i] = make([]float64, len(gpus))
 	}
+	if topo.NumDevices() > 0 {
+		topo.Route(0, 0) // force the lazy route build before fanning out
+	}
 
 	type episode struct {
 		choice []int
-		reward float64
+		strat  *config.Strategy
+		cost   time.Duration
 	}
 	res := ReinforceResult{BestCost: 1<<62 - 1}
-	var batch []episode
 
-	for ep := 0; ep < opts.Episodes; ep++ {
-		choice := make([]int, len(ops))
-		s := config.NewStrategy(g)
-		for i, op := range ops {
-			choice[i] = sampleSoftmax(logits[i], rng)
-			s.Set(op.ID, config.OnDevice(op, gpus[choice[i]]))
+	for batch := 0; res.Episodes < opts.Episodes; batch++ {
+		if cancelled(ctx) {
+			break
 		}
-		tg := taskgraph.Build(g, topo, s, est, opts.TaskOpts)
-		cost := sim.NewState(tg).Simulate()
-		res.Episodes++
-		if cost < res.BestCost {
-			res.BestCost = cost
-			res.Best = s.Clone()
+		n := opts.BatchSize
+		if rem := opts.Episodes - res.Episodes; n > rem {
+			n = rem
 		}
-		batch = append(batch, episode{choice: choice, reward: -cost.Seconds()})
-		if len(batch) < opts.BatchSize {
-			continue
+		// Snapshot the policy once per batch: every rollout of the
+		// batch samples from the same distribution regardless of which
+		// worker runs it or in what order.
+		probs := make([][]float64, len(ops))
+		for i := range logits {
+			probs[i] = softmax(logits[i])
 		}
-		// Policy-gradient step with the batch-mean baseline.
+		eps := make([]episode, n)
+		first := res.Episodes
+		par.ForEach(opts.Workers, n, func(k int) {
+			rng := rand.New(rand.NewSource(chainSeed(opts.Seed, first+k)))
+			choice := make([]int, len(ops))
+			s := config.NewStrategy(g)
+			for i, op := range ops {
+				choice[i] = sampleProbs(probs[i], rng)
+				s.Set(op.ID, config.OnDevice(op, gpus[choice[i]]))
+			}
+			tg := taskgraph.Build(g, topo, s, est, opts.TaskOpts)
+			eps[k] = episode{choice: choice, strat: s, cost: sim.NewState(tg).Simulate()}
+		})
+		// Merge and apply the policy-gradient step serially, in episode
+		// order, so ties and the logit trajectory are deterministic.
 		mean := 0.0
-		for _, e := range batch {
-			mean += e.reward
+		for _, e := range eps {
+			res.Episodes++
+			if e.cost < res.BestCost {
+				res.BestCost = e.cost
+				res.Best = e.strat.Clone()
+			}
+			mean += -e.cost.Seconds()
 		}
-		mean /= float64(len(batch))
-		for _, e := range batch {
-			adv := e.reward - mean
+		mean /= float64(n)
+		for _, e := range eps {
+			adv := -e.cost.Seconds() - mean
 			for i := range ops {
 				p := softmax(logits[i])
 				for d := range p {
@@ -101,7 +150,9 @@ func Reinforce(g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, o
 				}
 			}
 		}
-		batch = batch[:0]
+		emit(opts.OnEvent, ProgressEvent{
+			Algorithm: "reinforce", Chain: batch, Iter: res.Episodes, BestCost: res.BestCost,
+		})
 	}
 	return res
 }
@@ -125,8 +176,8 @@ func softmax(logits []float64) []float64 {
 	return out
 }
 
-func sampleSoftmax(logits []float64, rng *rand.Rand) int {
-	p := softmax(logits)
+// sampleProbs draws an index from an already-normalized distribution.
+func sampleProbs(p []float64, rng *rand.Rand) int {
 	r := rng.Float64()
 	acc := 0.0
 	for i, pi := range p {
@@ -136,4 +187,8 @@ func sampleSoftmax(logits []float64, rng *rand.Rand) int {
 		}
 	}
 	return len(p) - 1
+}
+
+func sampleSoftmax(logits []float64, rng *rand.Rand) int {
+	return sampleProbs(softmax(logits), rng)
 }

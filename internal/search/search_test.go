@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -91,7 +92,7 @@ func TestMCMCImprovesOverDataParallelism(t *testing.T) {
 	dpCost, _ := Evaluate(g, topo, est, config.DataParallel(g, topo), taskgraph.Options{})
 	opts := DefaultOptions()
 	opts.MaxIters = 600
-	res := MCMC(g, topo, est, Initials(g, topo, 1, true), opts)
+	res := MCMC(context.Background(), g, topo, est, Initials(g, topo, 1, true), opts)
 
 	if res.BestCost > dpCost {
 		t.Fatalf("search result %v worse than data parallelism %v", res.BestCost, dpCost)
@@ -115,8 +116,8 @@ func TestMCMCDeterministicGivenSeed(t *testing.T) {
 	est := perfmodel.NewAnalyticModel()
 	opts := DefaultOptions()
 	opts.MaxIters = 150
-	a := MCMC(g, topo, est, Initials(g, topo, 3, false), opts)
-	b := MCMC(g, topo, est, Initials(g, topo, 3, false), opts)
+	a := MCMC(context.Background(), g, topo, est, Initials(g, topo, 3, false), opts)
+	b := MCMC(context.Background(), g, topo, est, Initials(g, topo, 3, false), opts)
 	if a.BestCost != b.BestCost || !a.Best.Equal(b.Best) {
 		t.Fatalf("same seed produced different results: %v vs %v", a.BestCost, b.BestCost)
 	}
@@ -127,7 +128,7 @@ func TestMCMCTraceMonotone(t *testing.T) {
 	topo := device.NewSingleNode(4, "P100")
 	opts := DefaultOptions()
 	opts.MaxIters = 300
-	res := MCMC(g, topo, perfmodel.NewAnalyticModel(), Initials(g, topo, 2, false), opts)
+	res := MCMC(context.Background(), g, topo, perfmodel.NewAnalyticModel(), Initials(g, topo, 2, false), opts)
 	if len(res.Trace) == 0 {
 		t.Fatal("no trace")
 	}
@@ -148,9 +149,9 @@ func TestMCMCFullSimMatchesDelta(t *testing.T) {
 	est := perfmodel.NewAnalyticModel()
 	opts := DefaultOptions()
 	opts.MaxIters = 100
-	delta := MCMC(g, topo, est, []*config.Strategy{config.DataParallel(g, topo)}, opts)
+	delta := MCMC(context.Background(), g, topo, est, []*config.Strategy{config.DataParallel(g, topo)}, opts)
 	opts.FullSim = true
-	full := MCMC(g, topo, est, []*config.Strategy{config.DataParallel(g, topo)}, opts)
+	full := MCMC(context.Background(), g, topo, est, []*config.Strategy{config.DataParallel(g, topo)}, opts)
 	// The two algorithms time identical strategies identically up to
 	// ready-time tie-breaking (the full algorithm rebuilds the task
 	// graph, renumbering tasks), so the walks may diverge slightly; the
@@ -173,7 +174,7 @@ func TestMCMCGreedyAtHighBeta(t *testing.T) {
 	opts := DefaultOptions()
 	opts.MaxIters = 200
 	opts.Beta = 1e9 // effectively greedy: never accept regressions
-	res := MCMC(g, topo, perfmodel.NewAnalyticModel(), []*config.Strategy{config.DataParallel(g, topo)}, opts)
+	res := MCMC(context.Background(), g, topo, perfmodel.NewAnalyticModel(), []*config.Strategy{config.DataParallel(g, topo)}, opts)
 	// With greedy acceptance, the chain cost equals the best cost at
 	// every accepted step; final best must be <= initial.
 	if res.BestCost > res.Trace[0].BestCost {
@@ -194,7 +195,7 @@ func TestSpaceRestrictions(t *testing.T) {
 	opts := DefaultOptions()
 	opts.MaxIters = 120
 	opts.Space = SpaceSample
-	res := MCMC(g, topo, perfmodel.NewAnalyticModel(), []*config.Strategy{config.DataParallel(g, topo)}, opts)
+	res := MCMC(context.Background(), g, topo, perfmodel.NewAnalyticModel(), []*config.Strategy{config.DataParallel(g, topo)}, opts)
 	// Every config in the result must have degree 1 outside the sample dim.
 	for _, op := range g.ComputeOps() {
 		c := res.Best.Config(op.ID)
@@ -219,7 +220,7 @@ func TestExhaustiveFindsOptimumAndMCMCMatches(t *testing.T) {
 	topo := device.NewSingleNode(2, "P100")
 	est := perfmodel.NewAnalyticModel()
 
-	ex := Exhaustive(g, topo, est, ExhaustiveOptions{
+	ex := Exhaustive(context.Background(), g, topo, est, ExhaustiveOptions{
 		Enum:               config.EnumOptions{MaxDegree: 2},
 		MaxCandidatesPerOp: 8,
 	})
@@ -240,7 +241,7 @@ func TestExhaustiveFindsOptimumAndMCMCMatches(t *testing.T) {
 	// good as the optimum of the restricted space.
 	opts := DefaultOptions()
 	opts.MaxIters = 1500
-	res := MCMC(g, topo, est, Initials(g, topo, 5, false), opts)
+	res := MCMC(context.Background(), g, topo, est, Initials(g, topo, 5, false), opts)
 	if res.BestCost > ex.BestCost {
 		t.Fatalf("MCMC best %v worse than restricted-space optimum %v", res.BestCost, ex.BestCost)
 	}
@@ -260,7 +261,7 @@ func TestExhaustivePruningSound(t *testing.T) {
 	est := perfmodel.NewAnalyticModel()
 	enum := config.EnumOptions{MaxDegree: 2}
 
-	ex := Exhaustive(g, topo, est, ExhaustiveOptions{Enum: enum, MaxCandidatesPerOp: 6})
+	ex := Exhaustive(context.Background(), g, topo, est, ExhaustiveOptions{Enum: enum, MaxCandidatesPerOp: 6})
 	// The global optimum of the space has no improving neighbour within
 	// the same space.
 	best, improving, checked := Neighborhood(g, topo, est, ex.Best, enum, taskgraph.Options{})
@@ -285,7 +286,7 @@ func TestPolishReachesLocalOptimum(t *testing.T) {
 	}
 	base, _ := Evaluate(g, topo, est, bad, taskgraph.Options{})
 	enum := config.EnumOptions{}
-	polished, cost := Polish(g, topo, est, bad, enum, taskgraph.Options{}, 0)
+	polished, cost := Polish(context.Background(), g, topo, est, bad, PolishOptions{Enum: enum})
 	if cost >= base {
 		t.Fatalf("polish did not improve all-on-one-device: %v vs %v", cost, base)
 	}
@@ -295,7 +296,7 @@ func TestPolishReachesLocalOptimum(t *testing.T) {
 		t.Fatalf("polished strategy has improving neighbour: %v < %v", best, cost)
 	}
 	// Polishing a local optimum is a no-op.
-	again, cost2 := Polish(g, topo, est, polished, enum, taskgraph.Options{}, 3)
+	again, cost2 := Polish(context.Background(), g, topo, est, polished, PolishOptions{Enum: enum, MaxRounds: 3})
 	if cost2 != cost || !again.Equal(polished) {
 		t.Fatalf("re-polish changed the strategy: %v vs %v", cost2, cost)
 	}
@@ -328,7 +329,10 @@ func TestOptCNNLinearChain(t *testing.T) {
 	topo := device.NewSingleNode(2, "P100")
 	est := perfmodel.NewAnalyticModel()
 
-	s := OptCNN(g, topo, est, config.EnumOptions{})
+	s, err := OptCNN(context.Background(), g, topo, est, config.EnumOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := s.Validate(g, topo); err != nil {
 		t.Fatalf("OptCNN strategy invalid: %v", err)
 	}
@@ -354,7 +358,10 @@ func TestOptCNNNonLinearGraph(t *testing.T) {
 		t.Fatal("test graph should be non-linear")
 	}
 	topo := device.NewSingleNode(2, "P100")
-	s := OptCNN(g, topo, perfmodel.NewAnalyticModel(), config.EnumOptions{})
+	s, err := OptCNN(context.Background(), g, topo, perfmodel.NewAnalyticModel(), config.EnumOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := s.Validate(g, topo); err != nil {
 		t.Fatalf("OptCNN (greedy) strategy invalid: %v", err)
 	}
@@ -367,7 +374,7 @@ func TestReinforcePlacement(t *testing.T) {
 	opts := DefaultReinforceOptions()
 	opts.Episodes = 150
 	opts.Seed = 2
-	res := Reinforce(g, topo, est, opts)
+	res := Reinforce(context.Background(), g, topo, est, opts)
 	if res.Best == nil || res.Episodes != 150 {
 		t.Fatalf("result %+v", res)
 	}
@@ -383,7 +390,7 @@ func TestReinforcePlacement(t *testing.T) {
 	// FlexFlow's broader space should match or beat it (Figure 10a).
 	mopts := DefaultOptions()
 	mopts.MaxIters = 800
-	ff := MCMC(g, topo, est, Initials(g, topo, 1, false), mopts)
+	ff := MCMC(context.Background(), g, topo, est, Initials(g, topo, 1, false), mopts)
 	if ff.BestCost > res.BestCost {
 		t.Fatalf("FlexFlow %v worse than REINFORCE %v", ff.BestCost, res.BestCost)
 	}
@@ -415,14 +422,14 @@ func TestMCMCMemoryCheck(t *testing.T) {
 	opts := DefaultOptions()
 	opts.MaxIters = 400
 	opts.MemoryCheck = true
-	res := MCMC(g, topo, perfmodel.NewAnalyticModel(), []*config.Strategy{init}, opts)
+	res := MCMC(context.Background(), g, topo, perfmodel.NewAnalyticModel(), []*config.Strategy{init}, opts)
 	if err := memory.Check(g, topo, res.Best, memory.Model{}); err != nil {
 		t.Fatalf("memory-checked search returned an infeasible strategy: %v", err)
 	}
 	// Without the check, the same walk is free to adopt infeasible
 	// strategies (data-parallel-ish replication); it usually does.
 	opts.MemoryCheck = false
-	free := MCMC(g, topo, perfmodel.NewAnalyticModel(), []*config.Strategy{init}, opts)
+	free := MCMC(context.Background(), g, topo, perfmodel.NewAnalyticModel(), []*config.Strategy{init}, opts)
 	_ = free // no assertion: feasibility is simply not guaranteed here
 }
 

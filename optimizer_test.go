@@ -1,0 +1,169 @@
+package flexflow
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// registryProblem is a model small enough that even the exhaustive
+// optimizer (and VerifyStrategy's real float32 kernels) finish fast.
+func registryProblem() Problem {
+	g := NewGraph("registry-cnn")
+	x := g.Input4D("x", 8, 2, 8, 8)
+	c := g.Conv2D("conv", x, 4, 3, 3, 1, 1, 1, 1)
+	f := g.Flatten("flat", c)
+	g.Dense("fc", f, 8)
+	return Problem{Graph: g, Topology: NewSingleNode(2, "P100")}
+}
+
+// TestOptimizerRegistry drives every registered algorithm through the
+// unified API: each must return a valid, numerically correct strategy,
+// and each must honor an already-cancelled context by returning
+// promptly with an error or a best-so-far strategy.
+func TestOptimizerRegistry(t *testing.T) {
+	names := Optimizers()
+	if len(names) < 5 {
+		t.Fatalf("registered optimizers = %v, want at least the five built-ins", names)
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			opt, err := GetOptimizer(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if opt.Name() != name {
+				t.Fatalf("Name() = %q, registered as %q", opt.Name(), name)
+			}
+			p := registryProblem()
+			res, err := opt.Optimize(context.Background(), p, OptimizeOptions{MaxIters: 80, Seed: 1})
+			if err != nil {
+				t.Fatalf("Optimize: %v", err)
+			}
+			if res.Algorithm != name {
+				t.Fatalf("Result.Algorithm = %q", res.Algorithm)
+			}
+			if res.Best == nil || res.BestCost <= 0 {
+				t.Fatalf("degenerate result %+v", res)
+			}
+			if err := res.Best.Validate(p.Graph, p.Topology); err != nil {
+				t.Fatalf("invalid strategy: %v", err)
+			}
+			if err := VerifyStrategy(p.Graph, res.Best); err != nil {
+				t.Fatalf("strategy not numerically equivalent: %v", err)
+			}
+
+			// An already-cancelled context must return promptly, with
+			// an error or a usable best-so-far strategy.
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			start := time.Now()
+			res, err = opt.Optimize(ctx, p, OptimizeOptions{MaxIters: 1 << 20, Seed: 1})
+			if err == nil && res.Best == nil {
+				t.Fatal("cancelled Optimize returned neither error nor strategy")
+			}
+			if elapsed := time.Since(start); elapsed > 10*time.Second {
+				t.Fatalf("cancelled Optimize took %v", elapsed)
+			}
+		})
+	}
+}
+
+func TestGetOptimizerUnknown(t *testing.T) {
+	if _, err := GetOptimizer("simulated-annealing"); err == nil {
+		t.Fatal("unknown optimizer did not error")
+	}
+}
+
+func TestOptimizeRejectsEmptyProblem(t *testing.T) {
+	for _, name := range Optimizers() {
+		opt, err := GetOptimizer(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := opt.Optimize(context.Background(), Problem{}, OptimizeOptions{}); err == nil {
+			t.Fatalf("%s: empty problem did not error", name)
+		}
+	}
+}
+
+// TestOptimizerProgressStreaming exercises the OnEvent path through the
+// facade: events must arrive, carry the right algorithm, and end with
+// the returned best cost on a Final event.
+func TestOptimizerProgressStreaming(t *testing.T) {
+	p := registryProblem()
+	opt, err := GetOptimizer("mcmc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var events []ProgressEvent
+	res, err := opt.Optimize(context.Background(), p, OptimizeOptions{
+		MaxIters: 100, Seed: 1,
+		OnEvent: func(ev ProgressEvent) {
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no progress events")
+	}
+	bestSeen := time.Duration(1<<62 - 1)
+	finals := 0
+	for _, ev := range events {
+		if ev.Algorithm != "mcmc" {
+			t.Fatalf("event algorithm %q", ev.Algorithm)
+		}
+		if ev.Final {
+			finals++
+			if ev.BestCost < bestSeen {
+				bestSeen = ev.BestCost
+			}
+		}
+	}
+	if finals == 0 {
+		t.Fatal("no final events")
+	}
+	if bestSeen != res.BestCost {
+		t.Fatalf("best final event %v != result %v", bestSeen, res.BestCost)
+	}
+}
+
+// TestSearchShimStillWorks pins the deprecated path: flexflow.Search and
+// SearchOptions.Cancel keep functioning as a shim over the "mcmc"
+// optimizer.
+func TestSearchShimStillWorks(t *testing.T) {
+	p := registryProblem()
+	res := Search(p.Graph, p.Topology, SearchOptions{MaxIters: 100, Seed: 1})
+	if res.Best == nil || res.BestCost <= 0 || res.Iters == 0 {
+		t.Fatalf("shim search degenerate: %+v", res)
+	}
+
+	// The shim must agree with the optimizer it wraps (same seed, same
+	// deterministic walk).
+	opt, _ := GetOptimizer("mcmc")
+	direct, err := opt.Optimize(context.Background(), p, OptimizeOptions{MaxIters: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestCost != direct.BestCost || !res.Best.Equal(direct.Best) {
+		t.Fatalf("shim diverged from optimizer: %v vs %v", res.BestCost, direct.BestCost)
+	}
+
+	cancel := make(chan struct{})
+	close(cancel)
+	got := Search(p.Graph, p.Topology, SearchOptions{MaxIters: 1 << 20, Cancel: cancel})
+	if got.Iters != 0 {
+		t.Fatalf("pre-closed Cancel still ran %d proposals", got.Iters)
+	}
+	if got.Best == nil {
+		t.Fatal("cancelled shim lost the initial evaluation")
+	}
+}
