@@ -214,6 +214,62 @@ func BenchmarkExperimentsSuite(b *testing.B) {
 	}
 }
 
+// benchNeighborhood sweeps the full one-op neighbour set of data
+// parallelism on rnnlm — the Polish inner loop — with a fixed worker
+// count. Serial and parallel return bit-identical results (see
+// TestNeighborhoodParallelMatchesSerial), so the ratio of the two
+// benchmarks below is pure speedup.
+func benchNeighborhood(b *testing.B, workers int) {
+	g := benchGraph(b, "rnnlm", 8)
+	topo := device.NewSingleNode(4, "P100")
+	est := newEstimator()
+	s := config.DataParallel(g, topo)
+	enum := config.EnumOptions{MaxDegree: 4}
+	// Warm the estimator cache so both variants measure the sweep, not
+	// first-touch profiling.
+	search.Neighborhood(g, topo, est, s, enum, taskgraph.Options{}, workers)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		search.Neighborhood(g, topo, est, s, enum, taskgraph.Options{}, workers)
+	}
+}
+
+func BenchmarkNeighborhoodSerial(b *testing.B)   { benchNeighborhood(b, 1) }
+func BenchmarkNeighborhoodParallel(b *testing.B) { benchNeighborhood(b, 0) }
+
+// BenchmarkChainSetup measures what it costs to stand up one MCMC chain
+// (task graph + simulated timeline), the per-chain setup the Plan/State
+// split exists to shrink: "build-per-chain" is the old path (every
+// chain runs Build + Simulate itself), "shared-plan" is the new one
+// (chains clone a structural Instance and a base-timeline State from a
+// Plan compiled once). Run with -benchmem: the allocs/op gap is the
+// acceptance criterion.
+func BenchmarkChainSetup(b *testing.B) {
+	g := benchGraph(b, "nmt", 8)
+	topo := device.NewSingleNode(4, "P100")
+	est := newEstimator()
+	s := config.DataParallel(g, topo)
+	b.Run("build-per-chain", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tg := taskgraph.Build(g, topo, s.Clone(), est, taskgraph.Options{})
+			sim.NewState(tg).Simulate()
+		}
+	})
+	b.Run("shared-plan", func(b *testing.B) {
+		plan := taskgraph.Compile(g, topo, s.Clone(), est, taskgraph.Options{})
+		base := sim.NewState(plan.Base())
+		base.Simulate()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			inst := plan.Instance()
+			st := base.CloneFor(inst)
+			_ = st.Makespan // the chain's starting cost, no Simulate needed
+		}
+	})
+}
+
 // --- Substrate micro-benchmarks ---------------------------------------
 
 // BenchmarkTaskGraphBuild measures BUILDTASKGRAPH (Algorithm 1 line 2).

@@ -104,11 +104,11 @@ func LocalOptimality(ctx context.Context, scale Scale, modelNames []string, devi
 		// The optimizer finishes with a local-descent pass (see
 		// search.Polish), so the returned strategy is locally
 		// optimal by construction; verify it anyway.
-		polished, polishedCost := search.Polish(ctx, c.g, topo, est, res.Best, search.PolishOptions{Enum: enumForScale(scale, topo)})
+		polished, polishedCost := search.Polish(ctx, c.g, topo, est, res.Best, search.PolishOptions{Enum: enumForScale(scale, topo), Workers: scale.Workers})
 		if polishedCost < res.BestCost {
 			res.Best, res.BestCost = polished, polishedCost
 		}
-		best, improving, checked := search.Neighborhood(c.g, topo, est, res.Best, enumForScale(scale, topo), taskgraph.Options{})
+		best, improving, checked := search.Neighborhood(c.g, topo, est, res.Best, enumForScale(scale, topo), taskgraph.Options{}, scale.Workers)
 		locallyOpt := improving == nil || best >= res.BestCost
 		return []string{
 			c.name, fmt.Sprintf("%d", c.n), ms(res.BestCost),

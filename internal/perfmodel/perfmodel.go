@@ -171,15 +171,11 @@ func keyFor(op *graph.Op, out tensor.Region, dev device.Device, pass Pass) cache
 	}
 	if pass != Update {
 		// Update cost depends only on the output (weight-shard) volume.
-		const offset64, prime64 = 14695981039346656037, 1099511628211
-		h := uint64(offset64)
-		for _, r := range graph.InputRegions(op, out) {
-			for i := 0; i < r.Rank(); i++ {
-				h = (h ^ uint64(r.Iv[i].Len())) * prime64
-			}
-			h = (h ^ 0xff) * prime64 // region separator
-		}
-		k.inputs = h
+		// The lengths-only walk hashes the same sequence a materialized
+		// graph.InputRegions call would, without allocating — this is
+		// the estimator's cache-hit path, queried once per task on
+		// every task-graph build (TestExecTimeCacheHitAllocFree).
+		k.inputs = graph.InputRegionsSig(op, out)
 	}
 	return k
 }

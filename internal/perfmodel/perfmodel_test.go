@@ -251,3 +251,26 @@ func TestFewDistinctSignaturesAcrossUnrolledSteps(t *testing.T) {
 		t.Fatalf("distinct signatures = %d, want 3", got)
 	}
 }
+
+// TestExecTimeCacheHitAllocFree guards the ROADMAP fix this cache key
+// exists for: a MeasuringEstimator hit — the overwhelmingly common case
+// during a search, ~3.5% of whole-search time before the lengths-only
+// input signature — must not allocate. A regression here (e.g. keyFor
+// materializing graph.InputRegions again) fails this test rather than
+// silently slowing every task-graph build.
+func TestExecTimeCacheHitAllocFree(t *testing.T) {
+	g, conv := testOp(t)
+	_ = g
+	e := NewMeasuringEstimator(NewAnalyticModel().ExecTime, 1)
+	dev := p100()
+	region := conv.Out.FullRegion()
+	for _, pass := range []Pass{Forward, Backward, Update} {
+		e.ExecTime(conv, region, dev, pass) // warm the cache
+		allocs := testing.AllocsPerRun(200, func() {
+			e.ExecTime(conv, region, dev, pass)
+		})
+		if allocs != 0 {
+			t.Errorf("%v cache hit allocates %.1f per op, want 0", pass, allocs)
+		}
+	}
+}

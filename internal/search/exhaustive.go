@@ -256,6 +256,10 @@ type PolishOptions struct {
 	TaskOpts taskgraph.Options
 	// MaxRounds caps the descent rounds (0 = default 20).
 	MaxRounds int
+	// Workers bounds how many per-op candidate sweeps each Neighborhood
+	// round runs concurrently (0 = NumCPU). Results are bit-identical
+	// for every value.
+	Workers int
 	// OnEvent, when non-nil, receives one progress event per completed
 	// round (Chain = round index).
 	OnEvent func(ProgressEvent)
@@ -281,7 +285,7 @@ func Polish(ctx context.Context, g *graph.Graph, topo *device.Topology, est perf
 		if cancelled(ctx) {
 			break
 		}
-		cost, improving, checked := Neighborhood(g, topo, est, cur, opts.Enum, opts.TaskOpts)
+		cost, improving, checked := Neighborhood(g, topo, est, cur, opts.Enum, opts.TaskOpts, opts.Workers)
 		if improving == nil || cost >= best {
 			break
 		}
@@ -296,27 +300,76 @@ func Polish(ctx context.Context, g *graph.Graph, topo *device.Topology, est perf
 // Neighborhood enumerates all one-op deviations of a strategy (the
 // neighbour set of Section 8.4's local-optimality study) and reports the
 // best improving neighbour, if any.
-func Neighborhood(g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, s *config.Strategy, enum config.EnumOptions, taskOpts taskgraph.Options) (bestCost time.Duration, improving *config.Strategy, checked int) {
-	tg := taskgraph.Build(g, topo, s.Clone(), est, taskOpts)
-	st := sim.NewState(tg)
-	base := st.Simulate()
-	bestCost = base
-	for _, op := range g.ComputeOps() {
-		orig := tg.Strat.Config(op.ID).Clone()
+//
+// The sweep is embarrassingly parallel per op, and runs that way: the
+// strategy is compiled once into an immutable Plan whose base timeline
+// is simulated once; each op's candidate walk then runs on the worker
+// pool against a private Plan.Instance and a State cloned from the base
+// timeline, so workers share only read-only structure. Because every
+// op's walk starts from the identical instance (same task IDs, same
+// base timeline) regardless of which worker runs it or in what order,
+// the result is bit-identical for every workers value (0 = NumCPU);
+// winners merge in (op, candidate) enumeration order.
+func Neighborhood(g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, s *config.Strategy, enum config.EnumOptions, taskOpts taskgraph.Options, workers int) (bestCost time.Duration, improving *config.Strategy, checked int) {
+	plan := taskgraph.Compile(g, topo, s.Clone(), est, taskOpts)
+	base := sim.NewState(plan.Base())
+	baseCost := base.Simulate()
+
+	ops := g.ComputeOps()
+	if topo.NumDevices() > 0 {
+		topo.Route(0, 0) // force the lazy route build before fanning out
+	}
+	type opBest struct {
+		cost    time.Duration
+		cand    *config.Config
+		checked int
+	}
+	results := make([]opBest, len(ops))
+	par.ForEach(workers, len(ops), func(i int) {
+		op := ops[i]
+		orig := plan.Base().Strat.Config(op.ID) // read-only: shared strat is never written
+		r := opBest{cost: baseCost}
+		var inst *taskgraph.TaskGraph
+		var st *sim.State
 		for _, cand := range config.Enumerate(op, topo, enum) {
 			if cand.Equal(orig) {
 				continue
 			}
-			cs := tg.ReplaceConfig(op.ID, cand)
-			cost := st.ApplyDelta(cs)
-			checked++
-			if cost < bestCost {
-				bestCost = cost
-				improving = tg.Strat.Clone()
+			if inst == nil {
+				// One instance + state clone per op, allocated lazily so
+				// ops whose every candidate equals the original stay free.
+				inst = plan.Instance()
+				st = base.CloneFor(inst)
 			}
-			cs = tg.ReplaceConfig(op.ID, orig)
-			st.ApplyDelta(cs)
+			// Each candidate replaces the previous one directly — the
+			// delta cost equals a full simulation of the resulting graph
+			// either way, so no revert-to-original is needed in between.
+			cs := inst.ReplaceConfig(op.ID, cand)
+			cost := st.ApplyDelta(cs)
+			r.checked++
+			if cost < r.cost {
+				r.cost = cost
+				r.cand = cand
+			}
 		}
+		results[i] = r
+	})
+
+	// Merge in op order with strict improvement, mirroring the serial
+	// scan's tie-breaking: the first (op, candidate) reaching the best
+	// cost wins. The winning strategy is cloned exactly once, here.
+	bestCost = baseCost
+	winner := -1
+	for i, r := range results {
+		checked += r.checked
+		if r.cand != nil && r.cost < bestCost {
+			bestCost = r.cost
+			winner = i
+		}
+	}
+	if winner >= 0 {
+		improving = s.Clone()
+		improving.Set(ops[winner].ID, results[winner].cand.Clone())
 	}
 	return bestCost, improving, checked
 }

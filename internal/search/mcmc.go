@@ -12,12 +12,15 @@
 // # Concurrency and determinism
 //
 // MCMC runs its independent chains (one per initial strategy, Section
-// 8.1) across a worker pool sized by Options.Workers. Each chain owns
-// its task graph and sim.State outright — simulator state is never
-// shared between goroutines — and draws from a private RNG whose seed is
-// derived up front from Options.Seed and the chain index, so the random
-// walk of chain i is one fixed sequence no matter how many workers
-// execute the pool or in which order chains are scheduled.
+// 8.1) across a worker pool sized by Options.Workers. The structure is
+// compiled once per distinct initial strategy into an immutable
+// taskgraph.Plan whose base timeline is simulated once; each chain then
+// owns a private Plan.Instance and a sim.State cloned from the base —
+// mutable simulator state is never shared between goroutines, only the
+// frozen plan is — and draws from a private RNG whose seed is derived
+// up front from Options.Seed and the chain index, so the random walk of
+// chain i is one fixed sequence no matter how many workers execute the
+// pool or in which order chains are scheduled.
 //
 // Budgets are charged in virtual time: every proposal costs a
 // calibrated, deterministic amount (see proposalCost), so Budget > 0
@@ -184,10 +187,34 @@ func MCMC(ctx context.Context, g *graph.Graph, topo *device.Topology, est perfmo
 	if topo.NumDevices() > 0 {
 		topo.Route(0, 0)
 	}
+	// Compile one immutable Plan (plus its simulated base timeline) per
+	// distinct initial strategy, up front and sequentially: chains that
+	// start from the same strategy share the compiled structure and the
+	// base timeline read-only, and per-chain setup drops to a structural
+	// clone + state copy (Plan.Instance + State.CloneFor) instead of a
+	// full Build + Simulate.
+	compiled := make([]chainStart, len(initials))
+	for i, init := range initials {
+		shared := -1
+		for j := 0; j < i; j++ {
+			if initials[j].Equal(init) {
+				shared = j
+				break
+			}
+		}
+		if shared >= 0 {
+			compiled[i] = compiled[shared]
+			continue
+		}
+		plan := taskgraph.Compile(g, topo, init.Clone(), est, opts.TaskOpts)
+		base := sim.NewState(plan.Base())
+		base.Simulate()
+		compiled[i] = chainStart{plan: plan, base: base}
+	}
 	results := make([]Result, len(initials))
 	par.ForEach(opts.Workers, len(initials), func(i int) {
 		rng := rand.New(rand.NewSource(chainSeed(opts.Seed, i)))
-		results[i] = runChain(ctx, g, topo, est, initials[i], i, opts, rng)
+		results[i] = runChain(ctx, g, topo, est, initials[i], compiled[i], i, opts, rng)
 	})
 	// Merge in chain-index order, so ties between chains resolve the
 	// same way no matter which worker finished first.
@@ -208,15 +235,28 @@ func MCMC(ctx context.Context, g *graph.Graph, topo *device.Topology, est perfmo
 	return best
 }
 
-func runChain(ctx context.Context, g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, init *config.Strategy, chain int, opts Options, rng *rand.Rand) Result {
-	chainStart := time.Now()
+// chainStart is the shared, read-only starting point of a chain: the
+// compiled plan of its initial strategy and the simulated base
+// timeline. Chains with equal initials point at the same values.
+type chainStart struct {
+	plan *taskgraph.Plan
+	base *sim.State
+}
+
+func runChain(ctx context.Context, g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, init *config.Strategy, start0 chainStart, chain int, opts Options, rng *rand.Rand) Result {
+	wallStart := time.Now()
 	cur := init.Clone()
 	// Delta mode keeps one task graph + timeline alive across proposals;
 	// full mode rebuilds per proposal, exactly as Algorithm 1 does
-	// (BUILDTASKGRAPH is its first step).
-	tg := taskgraph.Build(g, topo, cur.Clone(), est, opts.TaskOpts)
-	st := sim.NewState(tg)
-	cost := st.Simulate()
+	// (BUILDTASKGRAPH is its first step). Either way the chain starts
+	// from a private instance of the shared plan: the clone preserves
+	// task IDs, so the timeline (and every delta after it) is
+	// bit-identical to one the chain would have built itself. CloneFor
+	// copies the base state's Stats too, so the shared initial Simulate
+	// is accounted once per chain, exactly as before.
+	tg := start0.plan.Instance()
+	st := start0.base.CloneFor(tg)
+	cost := st.Makespan
 
 	// The chain's deterministic clock: every proposal advances it by a
 	// calibrated amount that depends only on the task-graph size, so the
@@ -278,7 +318,7 @@ func runChain(ctx context.Context, g *graph.Graph, topo *device.Topology, est pe
 
 	finish := func() Result {
 		res.SimStats = st.Stats
-		res.SearchTime = time.Since(chainStart)
+		res.SearchTime = time.Since(wallStart)
 		emit(opts.OnEvent, ProgressEvent{
 			Algorithm: "mcmc", Chain: chain, Iter: res.Iters,
 			BestCost: res.BestCost, Elapsed: virtual(res.Iters), Final: true,

@@ -12,6 +12,7 @@ import (
 	"flexflow/internal/graph"
 	"flexflow/internal/models"
 	"flexflow/internal/perfmodel"
+	"flexflow/internal/taskgraph"
 )
 
 // parallelCases are the models of the Workers=1 vs Workers=N
@@ -316,6 +317,75 @@ func TestReinforceCancelled(t *testing.T) {
 	res := Reinforce(ctx, g, topo, perfmodel.NewAnalyticModel(), DefaultReinforceOptions())
 	if res.Episodes != 0 {
 		t.Fatalf("pre-cancelled learner still ran %d episodes", res.Episodes)
+	}
+}
+
+// TestNeighborhoodParallelMatchesSerial pins the parallel Polish inner
+// loop: the per-op candidate sweep fans out over the worker pool with a
+// private Plan.Instance + cloned State per op, so the best neighbour,
+// its cost and the checked count are bit-identical for every Workers
+// value. Run under -race this also certifies that workers share only
+// the immutable plan and base timeline.
+func TestNeighborhoodParallelMatchesSerial(t *testing.T) {
+	t.Parallel()
+	for _, c := range parallelCases() {
+		topo := device.NewSingleNode(4, "P100")
+		est := perfmodel.NewAnalyticModel()
+		// Sweep from two starting points: data parallelism (often locally
+		// optimal) and everything-on-one-device (always improvable).
+		starts := map[string]*config.Strategy{
+			"data-parallel": config.DataParallel(c.g, topo),
+		}
+		single := config.NewStrategy(c.g)
+		for _, op := range c.g.ComputeOps() {
+			single.Set(op.ID, config.OnDevice(op, 0))
+		}
+		starts["single-device"] = single
+
+		for name, s := range starts {
+			enum := config.EnumOptions{MaxDegree: 4}
+			serialCost, serialBest, serialChecked := Neighborhood(c.g, topo, est, s, enum, taskgraph.Options{}, 1)
+			if serialChecked == 0 {
+				t.Fatalf("%s/%s: no neighbours checked", c.name, name)
+			}
+			for _, workers := range []int{2, 3, runtime.NumCPU()} {
+				cost, best, checked := Neighborhood(c.g, topo, est, s, enum, taskgraph.Options{}, workers)
+				if cost != serialCost || checked != serialChecked {
+					t.Errorf("%s/%s workers=%d: (cost %v, checked %d) != serial (%v, %d)",
+						c.name, name, workers, cost, checked, serialCost, serialChecked)
+				}
+				switch {
+				case (best == nil) != (serialBest == nil):
+					t.Errorf("%s/%s workers=%d: improving nil-ness differs from serial", c.name, name, workers)
+				case best != nil && !best.Equal(serialBest):
+					t.Errorf("%s/%s workers=%d: improving strategy differs from serial", c.name, name, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestPolishParallelMatchesSerial runs the full descent on top of the
+// parallel Neighborhood: identical local optimum for every Workers
+// value.
+func TestPolishParallelMatchesSerial(t *testing.T) {
+	t.Parallel()
+	g := tinyMLP()
+	topo := device.NewSingleNode(4, "P100")
+	est := perfmodel.NewAnalyticModel()
+	bad := config.NewStrategy(g)
+	for _, op := range g.ComputeOps() {
+		bad.Set(op.ID, config.OnDevice(op, 0))
+	}
+	opts := PolishOptions{Enum: config.EnumOptions{MaxDegree: 4}}
+	opts.Workers = 1
+	serialBest, serialCost := Polish(context.Background(), g, topo, est, bad, opts)
+	for _, workers := range []int{2, runtime.NumCPU()} {
+		opts.Workers = workers
+		best, cost := Polish(context.Background(), g, topo, est, bad, opts)
+		if cost != serialCost || !best.Equal(serialBest) {
+			t.Errorf("workers=%d: polish (%v) != serial (%v)", workers, cost, serialCost)
+		}
 	}
 }
 

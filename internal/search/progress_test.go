@@ -1,0 +1,66 @@
+package search
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"flexflow/internal/config"
+	"flexflow/internal/device"
+	"flexflow/internal/perfmodel"
+	"flexflow/internal/taskgraph"
+)
+
+func TestProposalCostScaling(t *testing.T) {
+	small := proposalCost(100, false)
+	big := proposalCost(10000, false)
+	if big <= small {
+		t.Fatalf("delta proposal cost must grow with graph size: %v vs %v", big, small)
+	}
+	if full := proposalCost(10000, true); full <= big {
+		t.Fatalf("full-sim proposal (%v) must cost more than delta (%v)", full, big)
+	}
+}
+
+// TestVirtualTimeDriftReport measures how far the calibration constants
+// in progress.go sit from reality: it runs a single-worker micro-search,
+// compares the wall clock against the virtual clock the budget machinery
+// charged, and *reports* the drift (t.Log, never a failure — wall time
+// on a loaded CI box proves nothing). This is the groundwork for the
+// ROADMAP calibration item: the logged ratio is exactly the per-model
+// correction factor a calibrated proposalCost would apply.
+func TestVirtualTimeDriftReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock micro-benchmark; skipped in -short")
+	}
+	g := tinyMLP()
+	topo := device.NewSingleNode(4, "P100")
+	est := perfmodel.NewAnalyticModel()
+	init := config.DataParallel(g, topo)
+	tg := taskgraph.Build(g, topo, init.Clone(), est, taskgraph.Options{})
+	numTasks := len(tg.Tasks)
+
+	for _, mode := range []struct {
+		name    string
+		fullSim bool
+	}{{"delta", false}, {"full", true}} {
+		opts := DefaultOptions()
+		opts.MaxIters = 300
+		opts.Workers = 1
+		opts.FullSim = mode.fullSim
+		perProposal := proposalCost(numTasks, mode.fullSim)
+
+		start := time.Now()
+		res := MCMC(context.Background(), g, topo, est, []*config.Strategy{init.Clone()}, opts)
+		wall := time.Since(start)
+		if res.Iters == 0 {
+			t.Fatalf("%s: no proposals executed", mode.name)
+		}
+		virtual := time.Duration(res.Iters) * perProposal
+		measured := wall / time.Duration(res.Iters)
+		t.Logf("%s-sim virtual clock drift: wall %v vs virtual %v over %d proposals "+
+			"(measured %v/proposal, charged %v/proposal, drift %.2fx on %d tasks)",
+			mode.name, wall.Round(time.Microsecond), virtual, res.Iters,
+			measured.Round(time.Nanosecond), perProposal, float64(wall)/float64(virtual), numTasks)
+	}
+}

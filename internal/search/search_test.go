@@ -264,7 +264,7 @@ func TestExhaustivePruningSound(t *testing.T) {
 	ex := Exhaustive(context.Background(), g, topo, est, ExhaustiveOptions{Enum: enum, MaxCandidatesPerOp: 6})
 	// The global optimum of the space has no improving neighbour within
 	// the same space.
-	best, improving, checked := Neighborhood(g, topo, est, ex.Best, enum, taskgraph.Options{})
+	best, improving, checked := Neighborhood(g, topo, est, ex.Best, enum, taskgraph.Options{}, 1)
 	if checked == 0 {
 		t.Fatal("no neighbours checked")
 	}
@@ -291,7 +291,7 @@ func TestPolishReachesLocalOptimum(t *testing.T) {
 		t.Fatalf("polish did not improve all-on-one-device: %v vs %v", cost, base)
 	}
 	// The polished strategy has no improving neighbour (local optimum).
-	best, improving, _ := Neighborhood(g, topo, est, polished, enum, taskgraph.Options{})
+	best, improving, _ := Neighborhood(g, topo, est, polished, enum, taskgraph.Options{}, 1)
 	if improving != nil && best < cost {
 		t.Fatalf("polished strategy has improving neighbour: %v < %v", best, cost)
 	}
@@ -313,7 +313,7 @@ func TestNeighborhoodFindsImprovement(t *testing.T) {
 		bad.Set(op.ID, config.OnDevice(op, 0))
 	}
 	base, _ := Evaluate(g, topo, est, bad, taskgraph.Options{})
-	best, improving, _ := Neighborhood(g, topo, est, bad, config.EnumOptions{}, taskgraph.Options{})
+	best, improving, _ := Neighborhood(g, topo, est, bad, config.EnumOptions{}, taskgraph.Options{}, 1)
 	if improving == nil || best >= base {
 		t.Fatalf("no improving neighbour found for all-on-one-device (base %v, best %v)", base, best)
 	}

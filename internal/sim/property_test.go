@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -12,6 +13,25 @@ import (
 	"flexflow/internal/perfmodel"
 	"flexflow/internal/taskgraph"
 )
+
+// propRNN builds the RNN-with-attention graph the delta differential
+// uses: recurrent chains plus stacked fan-in, the hardest dependency
+// structure the builder produces.
+func propRNN() *graph.Graph {
+	g := graph.New("prop-rnn")
+	ids := g.InputSeq("tok", 8, 3)
+	emb := g.Embedding("emb", ids, 40, 12)
+	var prev *graph.Op
+	steps := make([]*graph.Op, 3)
+	for s := 0; s < 3; s++ {
+		prev = g.LSTMStep("l0", emb, prev, s, 16)
+		steps[s] = prev
+	}
+	stack := g.StackSteps("stack", steps...)
+	attn := g.AttentionStep("attn", steps[2], stack)
+	g.SoftmaxClassifier("sm", attn, 40)
+	return g
+}
 
 // Property: for random strategies on random machine sizes, the
 // simulated makespan respects both scheduling bounds, and total busy
@@ -38,9 +58,13 @@ func TestSimulationBoundsProperty(t *testing.T) {
 			var busy time.Duration
 			for i, task := range st.Timeline(r) {
 				busy += task.Exe
-				if i > 0 && task.Start < st.Timeline(r)[i-1].End {
-					t.Logf("overlap on resource %d", r)
-					return false
+				if i > 0 {
+					_, start, _ := st.Times(task)
+					_, _, prevEnd := st.Times(st.Timeline(r)[i-1])
+					if start < prevEnd {
+						t.Logf("overlap on resource %d", r)
+						return false
+					}
 				}
 			}
 			if busy > makespan {
@@ -59,23 +83,8 @@ func TestSimulationBoundsProperty(t *testing.T) {
 // graph across random mutation sequences on an RNN-shaped graph with
 // attention fan-in (the hardest dependency structure we build).
 func TestDeltaEqualsFullProperty(t *testing.T) {
-	build := func() *graph.Graph {
-		g := graph.New("prop-rnn")
-		ids := g.InputSeq("tok", 8, 3)
-		emb := g.Embedding("emb", ids, 40, 12)
-		var prev *graph.Op
-		steps := make([]*graph.Op, 3)
-		for s := 0; s < 3; s++ {
-			prev = g.LSTMStep("l0", emb, prev, s, 16)
-			steps[s] = prev
-		}
-		stack := g.StackSteps("stack", steps...)
-		attn := g.AttentionStep("attn", steps[2], stack)
-		g.SoftmaxClassifier("sm", attn, 40)
-		return g
-	}
 	f := func(seed int64) bool {
-		g := build()
+		g := propRNN()
 		topo := device.NewSingleNode(3, "P100")
 		rng := rand.New(rand.NewSource(seed))
 		tg := taskgraph.Build(g, topo, config.DataParallel(g, topo), perfmodel.NewAnalyticModel(), taskgraph.Options{})
@@ -96,6 +105,63 @@ func TestDeltaEqualsFullProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSharedPlanConcurrentDeltaEqualsFull is the structure/state-split
+// concurrency differential (run it under -race): one immutable Plan is
+// shared by many goroutines, each owning a private Instance and a State
+// cloned from the shared base timeline, each running an independent
+// random mutation sequence. Every delta result must equal a full
+// re-simulation of that goroutine's own graph, the base must stay
+// bit-stable throughout, and read-only full simulations against the
+// frozen base must agree with it from every goroutine.
+func TestSharedPlanConcurrentDeltaEqualsFull(t *testing.T) {
+	g := propRNN()
+	topo := device.NewSingleNode(3, "P100")
+	plan := taskgraph.Compile(g, topo, config.DataParallel(g, topo), perfmodel.NewAnalyticModel(), taskgraph.Options{})
+	base := NewState(plan.Base())
+	baseCost := base.Simulate()
+
+	const workers = 8
+	const steps = 12
+	ops := g.ComputeOps()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Read-only sharing: a fresh full simulation against the
+			// frozen base graph, concurrent with every other worker.
+			if got := NewState(plan.Base()).Simulate(); got != baseCost {
+				t.Errorf("worker %d: base simulation %v != %v", w, got, baseCost)
+				return
+			}
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			inst := plan.Instance()
+			st := base.CloneFor(inst)
+			if st.Makespan != baseCost {
+				t.Errorf("worker %d: cloned state makespan %v != base %v", w, st.Makespan, baseCost)
+				return
+			}
+			for step := 0; step < steps; step++ {
+				op := ops[rng.Intn(len(ops))]
+				cs := inst.ReplaceConfig(op.ID, config.RandomConfig(op, topo, rng))
+				got := st.ApplyDelta(cs)
+				// The reference full simulation reads inst but writes
+				// only its own state — safe against st and every other
+				// worker by construction.
+				want := NewState(inst).Simulate()
+				if got != want {
+					t.Errorf("worker %d step %d (op %s): delta %v != full %v", w, step, op.Name, got, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := NewState(plan.Base()).Simulate(); got != baseCost {
+		t.Fatalf("base timeline drifted after concurrent use: %v != %v", got, baseCost)
 	}
 }
 

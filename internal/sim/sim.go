@@ -21,14 +21,24 @@
 //
 // # Ownership
 //
-// A State (and the TaskGraph it wraps — Simulate and ApplyDelta write
-// scheduling fields directly into the tasks) is owned by exactly one
-// goroutine; it is not safe for concurrent use and is never locked. The
-// concurrent search runtime gets its parallelism one level up: each MCMC
-// chain builds its own task graph and its own State, sharing only
-// read-only inputs (operator graph, topology, estimator) across
-// goroutines. Simulation results depend only on the task graph, so
-// per-chain States cost no determinism.
+// The task graph is structure, the State is state: Simulate and
+// ApplyDelta never write into tasks — every mutable value (ready/start/
+// end times, per-resource timelines, scheduling scratch, the work heap)
+// lives in the State's own arrays, indexed by Task.Slot. A frozen
+// taskgraph.Plan base can therefore be simulated by any number of
+// goroutines concurrently, each with its own State.
+//
+// A State itself is owned by exactly one goroutine; it is not safe for
+// concurrent use and is never locked. The concurrent search runtime
+// gets its parallelism one level up: each MCMC chain (or Neighborhood
+// worker) takes a private Plan.Instance() and a State cloned from the
+// shared base timeline (CloneFor), so per-chain setup is a pointer
+// remap plus an array copy instead of a full Build+Simulate.
+//
+// When a State is attached to a mutable graph, every ReplaceConfig must
+// be followed by ApplyDelta (or a full Simulate) before the next
+// ReplaceConfig: slots of removed tasks are recycled, and ApplyDelta is
+// the point where the State retires its references to them.
 package sim
 
 import (
@@ -39,8 +49,29 @@ import (
 	"flexflow/internal/taskgraph"
 )
 
-// State is a simulation state: the task graph plus the per-resource
-// execution timelines.
+// tstate is one task's mutable simulation state, indexed by Task.Slot.
+type tstate struct {
+	// ready/start/end are the task's current timeline values.
+	ready, start, end time.Duration
+	// key dedups work-queue entries together with queued: a live queue
+	// entry exists for the task at ready time key, so re-pushing at an
+	// unchanged ready time is a no-op.
+	key time.Duration
+	// pos is the task's index in its resource's execution order
+	// (-1 when unscheduled).
+	pos int32
+	// pending counts unevaluated predecessors: the engine defers a
+	// task's first evaluation until all inputs have been evaluated,
+	// like Algorithm 1's NOTREADY/READY states.
+	pending int32
+	// done marks tasks that have been evaluated at least once.
+	done   bool
+	queued bool
+}
+
+// State is a simulation state: per-resource execution timelines plus
+// the per-task timing arrays, all owned by the state (the task graph is
+// never written).
 type State struct {
 	TG *taskgraph.TaskGraph
 
@@ -52,6 +83,7 @@ type State struct {
 	Stats Stats
 
 	pq workHeap
+	ts []tstate // indexed by Task.Slot
 }
 
 // Stats counts simulator work.
@@ -72,6 +104,69 @@ func NewState(tg *taskgraph.TaskGraph) *State {
 		TG:         tg,
 		numDevices: tg.Topo.NumDevices(),
 		res:        make([][]*taskgraph.Task, tg.Topo.NumDevices()+len(tg.Topo.Links)),
+		ts:         make([]tstate, tg.NumSlots()),
+	}
+}
+
+// CloneFor returns an independent copy of the state rebound to tg,
+// which must hold the same live tasks (matching IDs and slots) as the
+// state's own graph — i.e. an Instance of the same Plan, cloned before
+// any divergent ReplaceConfig. Timelines, timing arrays and Stats are
+// all copied, so the clone continues with ApplyDelta immediately, no
+// re-Simulate needed. This is the cheap per-chain/per-worker setup path
+// of the concurrent search runtime.
+func (s *State) CloneFor(tg *taskgraph.TaskGraph) *State {
+	out := &State{
+		TG:         tg,
+		numDevices: s.numDevices,
+		res:        make([][]*taskgraph.Task, len(s.res)),
+		Makespan:   s.Makespan,
+		Stats:      s.Stats,
+		ts:         append([]tstate(nil), s.ts...),
+	}
+	if tg == s.TG {
+		for r, order := range s.res {
+			out.res[r] = append([]*taskgraph.Task(nil), order...)
+		}
+		return out
+	}
+	bySlot := make([]*taskgraph.Task, tg.NumSlots())
+	for _, t := range tg.Tasks {
+		if !t.Dead {
+			bySlot[t.Slot] = t
+		}
+	}
+	for r, order := range s.res {
+		no := make([]*taskgraph.Task, len(order))
+		for i, t := range order {
+			nt := bySlot[t.Slot]
+			if nt == nil || nt.ID != t.ID {
+				panic("sim: CloneFor target graph does not match the state's tasks")
+			}
+			no[i] = nt
+		}
+		out.res[r] = no
+	}
+	return out
+}
+
+// Clone returns an independent copy of the state bound to the same task
+// graph.
+func (s *State) Clone() *State { return s.CloneFor(s.TG) }
+
+// Times returns the task's (ready, start, end) from the last
+// Simulate/ApplyDelta call.
+func (s *State) Times(t *taskgraph.Task) (ready, start, end time.Duration) {
+	st := &s.ts[t.Slot]
+	return st.ready, st.start, st.end
+}
+
+// ensure grows the per-slot state array to cover every slot the graph
+// has allocated (ReplaceConfig can mint new slots when an op's task
+// count grows past the previous peak).
+func (s *State) ensure() {
+	if n := s.TG.NumSlots(); n > len(s.ts) {
+		s.ts = append(s.ts, make([]tstate, n-len(s.ts))...)
 	}
 }
 
@@ -101,12 +196,13 @@ func (h *workHeap) Pop() interface{} {
 }
 
 func (s *State) push(t *taskgraph.Task) {
-	if t.SchedQueued && t.SchedKey == t.Ready {
+	st := &s.ts[t.Slot]
+	if st.queued && st.key == st.ready {
 		return // identical entry already queued
 	}
-	t.SchedQueued = true
-	t.SchedKey = t.Ready
-	heap.Push(&s.pq, workItem{ready: t.Ready, id: t.ID, t: t})
+	st.queued = true
+	st.key = st.ready
+	heap.Push(&s.pq, workItem{ready: st.ready, id: t.ID, t: t})
 }
 
 // Simulate runs the full simulation algorithm: it clears all timing
@@ -117,25 +213,30 @@ func (s *State) push(t *taskgraph.Task) {
 // exactly once; re-evaluations only occur to repair ready-time ties.
 func (s *State) Simulate() time.Duration {
 	s.Stats.FullSims++
+	s.ensure()
 	for i := range s.res {
 		s.res[i] = s.res[i][:0]
 	}
 	s.pq = s.pq[:0]
 	for _, t := range s.TG.Tasks {
-		t.Ready, t.Start, t.End = 0, 0, 0
-		t.SchedPos = -1
-		t.SchedDone = false
-		t.SchedQueued = false
 		if t.Dead {
+			// Never touch a dead task's slot: it may already belong to
+			// a live task elsewhere in the list.
 			continue
 		}
+		st := &s.ts[t.Slot]
+		st.ready, st.start, st.end = 0, 0, 0
+		st.key = 0
+		st.pos = -1
+		st.done = false
+		st.queued = false
 		n := 0
 		for _, p := range t.In {
 			if !p.Dead {
 				n++
 			}
 		}
-		t.SchedPending = n
+		st.pending = int32(n)
 		if n == 0 {
 			s.push(t)
 		}
@@ -161,20 +262,25 @@ func (s *State) Simulate() time.Duration {
 // repairs). If the fixpoint exceeds its budget (differential tests show
 // it does not), it falls back to a full simulation, so the result is
 // always exact.
+//
+// Slot recycling note: an added task may occupy a removed task's slot.
+// The loops below therefore read every removed task's state (the T0
+// bound) before the added-task reset writes anything.
 func (s *State) ApplyDelta(cs taskgraph.ChangeSet) time.Duration {
 	s.Stats.DeltaSims++
+	s.ensure()
 	s.pq = s.pq[:0]
 	const inf = time.Duration(1<<63 - 1)
 	t0 := inf
 
 	for _, t := range cs.Removed {
-		if t.SchedDone && t.Start < t0 {
-			t0 = t.Start
+		st := &s.ts[t.Slot]
+		if st.done && st.start < t0 {
+			t0 = st.start
 		}
 	}
 	for _, t := range cs.Added {
-		t.SchedPos = -1
-		t.SchedDone = false
+		s.ts[t.Slot] = tstate{pos: -1}
 	}
 	for _, t := range cs.Added {
 		// Chain heads (all predecessors already scheduled) bound the
@@ -182,22 +288,22 @@ func (s *State) ApplyDelta(cs taskgraph.ChangeSet) time.Duration {
 		// added tasks are covered transitively.
 		head := true
 		for _, p := range t.In {
-			if !p.Dead && !p.SchedDone {
+			if !p.Dead && !s.ts[p.Slot].done {
 				head = false
 				break
 			}
 		}
 		if head {
-			if r := s.readyOf(t); r < t0 {
+			if r := s.computeReady(t); r < t0 {
 				t0 = r
 			}
 		}
 	}
 	for _, t := range cs.Touched {
-		if t.Start < t0 {
-			t0 = t.Start
+		if st := &s.ts[t.Slot]; st.start < t0 {
+			t0 = st.start
 		}
-		if r := s.readyOf(t); r < t0 {
+		if r := s.computeReady(t); r < t0 {
 			t0 = r
 		}
 	}
@@ -218,18 +324,25 @@ func (s *State) ApplyDelta(cs taskgraph.ChangeSet) time.Duration {
 		cut := len(order)
 		for cut > 0 {
 			t := order[cut-1]
-			if t.Dead || t.End > t0 || t.Start >= t0 {
+			if t.Dead {
+				cut--
+				continue
+			}
+			st := &s.ts[t.Slot]
+			if st.end > t0 || st.start >= t0 {
 				cut--
 				continue
 			}
 			break
 		}
 		for _, t := range order[cut:] {
-			t.SchedPos = -1
-			if !t.Dead {
-				t.SchedDone = false
-				affected = append(affected, t)
+			if t.Dead {
+				continue // slot may be recycled; leave it alone
 			}
+			st := &s.ts[t.Slot]
+			st.pos = -1
+			st.done = false
+			affected = append(affected, t)
 		}
 		s.res[r] = order[:cut]
 	}
@@ -240,15 +353,16 @@ func (s *State) ApplyDelta(cs taskgraph.ChangeSet) time.Duration {
 	for _, t := range affected {
 		n := 0
 		for _, p := range t.In {
-			if !p.Dead && !p.SchedDone {
+			if !p.Dead && !s.ts[p.Slot].done {
 				n++
 			}
 		}
-		t.SchedPending = n
+		s.ts[t.Slot].pending = int32(n)
 	}
 	for _, t := range affected {
-		if t.SchedPending == 0 {
-			t.Ready = s.readyOf(t)
+		st := &s.ts[t.Slot]
+		if st.pending == 0 {
+			st.ready = s.computeReady(t)
 			s.push(t)
 		}
 	}
@@ -260,8 +374,8 @@ func (s *State) ApplyDelta(cs taskgraph.ChangeSet) time.Duration {
 	// the re-scheduled suffix — no full scan needed.
 	makespan := t0
 	for _, t := range affected {
-		if t.End > makespan {
-			makespan = t.End
+		if e := s.ts[t.Slot].end; e > makespan {
+			makespan = e
 		}
 	}
 	s.Makespan = makespan
@@ -273,14 +387,14 @@ func (s *State) budget() int64 {
 	return 200*n + 10000
 }
 
-// readyOf recomputes a task's ready time from its predecessors'
+// computeReady recomputes a task's ready time from its predecessors'
 // current end times (unscheduled predecessors contribute zero and will
 // re-trigger the task when they complete).
-func (s *State) readyOf(t *taskgraph.Task) time.Duration {
+func (s *State) computeReady(t *taskgraph.Task) time.Duration {
 	var r time.Duration
 	for _, p := range t.In {
-		if p.End > r {
-			r = p.End
+		if e := s.ts[p.Slot].end; e > r {
+			r = e
 		}
 	}
 	return r
@@ -293,10 +407,14 @@ func (s *State) run(budget int64) bool {
 	for s.pq.Len() > 0 {
 		it := heap.Pop(&s.pq).(workItem)
 		t := it.t
-		if t.Dead || !t.SchedQueued || it.ready != t.SchedKey {
+		if t.Dead {
+			continue
+		}
+		st := &s.ts[t.Slot]
+		if !st.queued || it.ready != st.key {
 			continue // stale queue entry (re-pushed or already handled)
 		}
-		t.SchedQueued = false
+		st.queued = false
 		pops++
 		if pops > budget {
 			return false
@@ -309,16 +427,17 @@ func (s *State) run(budget int64) bool {
 
 // evaluate recomputes one task's schedule slot and propagates changes.
 func (s *State) evaluate(t *taskgraph.Task) {
-	inList := t.SchedPos >= 0
+	st := &s.ts[t.Slot]
+	inList := st.pos >= 0
 	key := t.ScheduleKey(s.numDevices)
 	order := s.res[key]
 
 	moved := false
 	if inList {
 		// Reposition if the order key changed relative to neighbours.
-		pos := t.SchedPos
-		outOfPlace := (pos > 0 && !taskLess(order[pos-1], t)) ||
-			(pos+1 < len(order) && !taskLess(t, order[pos+1]))
+		pos := int(st.pos)
+		outOfPlace := (pos > 0 && !s.less(order[pos-1], t)) ||
+			(pos+1 < len(order) && !s.less(t, order[pos+1]))
 		if outOfPlace {
 			if next := s.removeFromOrder(t); next != nil {
 				s.push(next)
@@ -333,57 +452,60 @@ func (s *State) evaluate(t *taskgraph.Task) {
 	order = s.res[key]
 
 	var prevEnd time.Duration
-	if t.SchedPos > 0 {
-		prevEnd = order[t.SchedPos-1].End
+	if st.pos > 0 {
+		prevEnd = s.ts[order[st.pos-1].Slot].end
 	}
-	start := t.Ready
+	start := st.ready
 	if prevEnd > start {
 		start = prevEnd
 	}
 	end := start + t.Exe
-	first := !t.SchedDone
-	t.SchedDone = true
-	changed := end != t.End || moved
-	if start == t.Start && end == t.End && !moved && !first {
+	first := !st.done
+	st.done = true
+	changed := end != st.end || moved
+	if start == st.start && end == st.end && !moved && !first {
 		return
 	}
-	t.Start, t.End = start, end
+	st.start, st.end = start, end
 
 	// The device successor's start depends on our end.
-	if t.SchedPos+1 < len(order) {
-		s.push(order[t.SchedPos+1])
+	if int(st.pos)+1 < len(order) {
+		s.push(order[st.pos+1])
 	}
 	if !changed && !first {
 		return
 	}
 	for _, succ := range t.Out {
+		ss := &s.ts[succ.Slot]
 		if first {
 			// Our first evaluation releases one of succ's pending
 			// inputs; succ enters the queue when the last one resolves
 			// (unless it was already evaluated, e.g. a surviving task
 			// downstream of a delta change).
-			if !succ.SchedDone {
-				succ.SchedPending--
-				if succ.SchedPending > 0 {
+			if !ss.done {
+				ss.pending--
+				if ss.pending > 0 {
 					continue
 				}
 			}
-		} else if !succ.SchedDone && succ.SchedPending > 0 {
+		} else if !ss.done && ss.pending > 0 {
 			// Still waiting on other inputs; it will read our final end
 			// time when it is released.
 			continue
 		}
-		r := s.readyOf(succ)
-		if r != succ.Ready || !succ.SchedDone {
-			succ.Ready = r
+		r := s.computeReady(succ)
+		if r != ss.ready || !ss.done {
+			ss.ready = r
 			s.push(succ)
 		}
 	}
 }
 
-func taskLess(a, b *taskgraph.Task) bool {
-	if a.Ready != b.Ready {
-		return a.Ready < b.Ready
+// less is the deterministic per-resource execution order: (ready, ID).
+func (s *State) less(a, b *taskgraph.Task) bool {
+	ra, rb := s.ts[a.Slot].ready, s.ts[b.Slot].ready
+	if ra != rb {
+		return ra < rb
 	}
 	return a.ID < b.ID
 }
@@ -393,14 +515,14 @@ func taskLess(a, b *taskgraph.Task) bool {
 func (s *State) removeFromOrder(t *taskgraph.Task) *taskgraph.Task {
 	key := t.ScheduleKey(s.numDevices)
 	order := s.res[key]
-	pos := t.SchedPos
+	pos := int(s.ts[t.Slot].pos)
 	copy(order[pos:], order[pos+1:])
 	order = order[:len(order)-1]
 	s.res[key] = order
 	for i := pos; i < len(order); i++ {
-		order[i].SchedPos = i
+		s.ts[order[i].Slot].pos = int32(i)
 	}
-	t.SchedPos = -1
+	s.ts[t.Slot].pos = -1
 	if pos < len(order) {
 		return order[pos]
 	}
@@ -414,7 +536,7 @@ func (s *State) insertOrdered(key int, t *taskgraph.Task) {
 	lo, hi := 0, len(order)
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if taskLess(order[mid], t) {
+		if s.less(order[mid], t) {
 			lo = mid + 1
 		} else {
 			hi = mid
@@ -425,7 +547,7 @@ func (s *State) insertOrdered(key int, t *taskgraph.Task) {
 	order[lo] = t
 	s.res[key] = order
 	for i := lo; i < len(order); i++ {
-		order[i].SchedPos = i
+		s.ts[order[i].Slot].pos = int32(i)
 	}
 }
 
@@ -437,11 +559,12 @@ func (s *State) finish() {
 		if t.Dead {
 			continue
 		}
-		if t.SchedPos < 0 {
+		st := &s.ts[t.Slot]
+		if st.pos < 0 {
 			panic(fmt.Sprintf("sim: task %v never scheduled (cyclic task graph?)", t))
 		}
-		if t.End > makespan {
-			makespan = t.End
+		if st.end > makespan {
+			makespan = st.end
 		}
 	}
 	s.Makespan = makespan

@@ -99,10 +99,10 @@ func TestFigure5FullSimulation(t *testing.T) {
 		"t5:1": {7 * u, 7 * u}, "t6:1": {11 * u, 11 * u},
 	}
 	for name, rs := range want {
-		task := tasks[name]
-		if task.Ready != rs[0] || task.Start != rs[1] {
+		ready, start, _ := st.Times(tasks[name])
+		if ready != rs[0] || start != rs[1] {
 			t.Errorf("%s: ready=%v start=%v, want ready=%v start=%v",
-				name, task.Ready, task.Start, rs[0], rs[1])
+				name, ready, start, rs[0], rs[1])
 		}
 	}
 	if makespan != 14*u {
@@ -282,7 +282,8 @@ func TestDeltaTimelineIdentical(t *testing.T) {
 	snap := map[string]times{}
 	for _, task := range tg.Tasks {
 		if !task.Dead {
-			snap[task.String()] = times{task.Ready, task.Start, task.End}
+			r, s, e := st.Times(task)
+			snap[task.String()] = times{r, s, e}
 		}
 	}
 	// Full re-simulation of the same graph must reproduce them.
@@ -292,9 +293,10 @@ func TestDeltaTimelineIdentical(t *testing.T) {
 			continue
 		}
 		want := snap[task.String()]
-		if task.Ready != want.r || task.Start != want.s || task.End != want.e {
+		r, s, e := st.Times(task)
+		if r != want.r || s != want.s || e != want.e {
 			t.Fatalf("task %v: delta times (%v,%v,%v) != full times (%v,%v,%v)",
-				task, want.r, want.s, want.e, task.Ready, task.Start, task.End)
+				task, want.r, want.s, want.e, r, s, e)
 		}
 	}
 }
@@ -342,7 +344,9 @@ func TestTimelineAccessor(t *testing.T) {
 	for r := 0; r < topo.NumDevices()+len(topo.Links); r++ {
 		order := st.Timeline(r)
 		for i := 1; i < len(order); i++ {
-			if order[i].Start < order[i-1].End {
+			_, start, _ := st.Times(order[i])
+			_, _, prevEnd := st.Times(order[i-1])
+			if start < prevEnd {
 				t.Fatalf("resource %d: task %v starts before predecessor %v ends", r, order[i], order[i-1])
 			}
 		}
@@ -364,10 +368,12 @@ func TestNoOverlapOnDevices(t *testing.T) {
 		for r := 0; r < topo.NumDevices()+len(topo.Links); r++ {
 			order := st.Timeline(r)
 			for i := 1; i < len(order); i++ {
-				if order[i].Start < order[i-1].End {
+				ready, start, _ := st.Times(order[i])
+				_, _, prevEnd := st.Times(order[i-1])
+				if start < prevEnd {
 					t.Fatalf("overlap on resource %d", r)
 				}
-				if order[i].Start < order[i].Ready {
+				if start < ready {
 					t.Fatalf("task started before ready")
 				}
 			}
@@ -384,10 +390,12 @@ func TestDependencyOrderRespected(t *testing.T) {
 		if task.Dead {
 			continue
 		}
+		_, start, _ := st.Times(task)
 		for _, p := range task.In {
-			if task.Start < p.End {
+			_, _, pEnd := st.Times(p)
+			if start < pEnd {
 				t.Fatalf("task %v starts at %v before predecessor %v ends at %v",
-					task, task.Start, p, p.End)
+					task, start, p, pEnd)
 			}
 		}
 	}

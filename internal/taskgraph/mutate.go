@@ -1,6 +1,7 @@
 package taskgraph
 
 import (
+	"sort"
 	"time"
 
 	"flexflow/internal/config"
@@ -22,6 +23,9 @@ type ChangeSet struct {
 // op's compute/update/sync tasks and the communication tasks on every
 // edge adjacent to the op. This is UPDATETASKGRAPH from Algorithm 2.
 func (tg *TaskGraph) ReplaceConfig(opID int, c *config.Config) ChangeSet {
+	if tg.frozen {
+		panic("taskgraph: ReplaceConfig on a frozen Plan graph; mutate a Plan.Instance() instead")
+	}
 	op := tg.G.Op(opID)
 	if op.Kind == graph.Input {
 		panic("taskgraph: ReplaceConfig on an Input op")
@@ -57,7 +61,17 @@ func (tg *TaskGraph) ReplaceConfig(opID int, c *config.Config) ChangeSet {
 
 	// 2. Unlink doomed tasks from surviving neighbours; survivors whose
 	// In set changes are touched (their ready times may change).
-	for _, t := range doomed {
+	// Iterate in task-ID order, not map order: the removal order decides
+	// which free slots the rebuilt tasks reuse (and cs.Removed's order),
+	// and Plan.Instance guarantees that two instances applying the same
+	// ReplaceConfig sequence assign identical slots.
+	doomedIDs := make([]int, 0, len(doomed))
+	for id := range doomed {
+		doomedIDs = append(doomedIDs, id)
+	}
+	sort.Ints(doomedIDs)
+	for _, id := range doomedIDs {
+		t := doomed[id]
 		for _, p := range t.In {
 			if doomed[p.ID] == nil {
 				p.Out = removeTask(p.Out, t)
@@ -71,6 +85,12 @@ func (tg *TaskGraph) ReplaceConfig(opID int, c *config.Config) ChangeSet {
 		}
 		t.Dead = true
 		t.In, t.Out = nil, nil
+		// Recycle the slot: tasks added below (or by later calls) reuse
+		// it. The attached simulator state may still read the dead
+		// task's slot entries until its next ApplyDelta — which is safe
+		// because ApplyDelta reads removed-task state before it writes
+		// any added-task state (see sim.State.ApplyDelta).
+		tg.freeSlots = append(tg.freeSlots, t.Slot)
 		cs.Removed = append(cs.Removed, t)
 	}
 	tg.numDead += len(doomed)
@@ -109,8 +129,11 @@ func (tg *TaskGraph) ReplaceConfig(opID int, c *config.Config) ChangeSet {
 }
 
 // Compact drops dead tasks from the task list (IDs are preserved; they
-// are unique, not dense).
+// are unique, not dense). Slots were already recycled at removal time.
 func (tg *TaskGraph) Compact() {
+	if tg.frozen {
+		panic("taskgraph: Compact on a frozen Plan graph")
+	}
 	alive := tg.Tasks[:0]
 	for _, t := range tg.Tasks {
 		if !t.Dead {

@@ -1,0 +1,131 @@
+package taskgraph
+
+import (
+	"flexflow/internal/config"
+	"flexflow/internal/device"
+	"flexflow/internal/graph"
+	"flexflow/internal/perfmodel"
+)
+
+// Plan is a compiled, immutable task graph: the structure/state split
+// behind the concurrent search runtime. Compile builds the graph once —
+// paying the estimator lookups, route queries and region intersections
+// of Build exactly once per problem — and freezes it; the Plan is then
+// shared read-only by any number of goroutines:
+//
+//   - Base returns the frozen graph itself. Simulating it is safe
+//     concurrently (sim.State keeps every mutable value in its own
+//     arrays), but ReplaceConfig on it panics.
+//   - Instance returns a private mutable copy for a chain or worker
+//     that needs to mutate structure (ReplaceConfig). The copy is a
+//     pure pointer-remap — no estimator, route or region work — and
+//     preserves task IDs and slots, so a sim.State cloned from the
+//     base timeline rebinds to it directly (sim.State.CloneFor).
+//
+// The concurrency contract: the Plan (and its Base graph) is never
+// written after Compile; every Instance is owned by exactly one
+// goroutine.
+type Plan struct {
+	base *TaskGraph
+}
+
+// Compile builds and freezes the task graph for a strategy. The
+// strategy must be valid for (g, topo); Compile panics otherwise, like
+// Build.
+func Compile(g *graph.Graph, topo *device.Topology, strat *config.Strategy, est perfmodel.Estimator, opts Options) *Plan {
+	tg := Build(g, topo, strat, est, opts)
+	tg.frozen = true
+	return &Plan{base: tg}
+}
+
+// Base returns the frozen task graph. It is safe for concurrent
+// read-only use (simulation, metrics); structural mutation panics.
+func (p *Plan) Base() *TaskGraph { return p.base }
+
+// Strategy returns a copy of the strategy the plan was compiled for.
+func (p *Plan) Strategy() *config.Strategy { return p.base.Strat.Clone() }
+
+// NumTasks returns the number of live tasks in the plan.
+func (p *Plan) NumTasks() int { return p.base.Alive() }
+
+// Instance returns a mutable copy of the plan's task graph, owned by
+// the caller. Task IDs, slots and creation order are preserved, so two
+// instances applying the same ReplaceConfig sequence stay bit-identical
+// — the property the parallel Neighborhood sweep relies on.
+func (p *Plan) Instance() *TaskGraph { return p.base.clone() }
+
+// clone deep-copies the task graph structure without re-running the
+// builder: tasks land in one contiguous arena and adjacency lists in
+// one backing array, so the whole copy is a handful of allocations
+// instead of Build's per-task estimator/route/region work.
+func (tg *TaskGraph) clone() *TaskGraph {
+	out := &TaskGraph{
+		G: tg.G, Topo: tg.Topo, Est: tg.Est, Opts: tg.Opts,
+		nextID:    tg.nextID,
+		numDead:   tg.numDead,
+		numSlots:  tg.numSlots,
+		freeSlots: append([]int(nil), tg.freeSlots...),
+		edgeComm:  make(map[[2]int][]*Task, len(tg.edgeComm)),
+	}
+	if tg.Strat != nil {
+		out.Strat = tg.Strat.Clone()
+	}
+
+	arena := make([]Task, len(tg.Tasks))
+	remap := make(map[*Task]*Task, len(tg.Tasks))
+	out.Tasks = make([]*Task, len(tg.Tasks))
+	for i, t := range tg.Tasks {
+		arena[i] = *t
+		out.Tasks[i] = &arena[i]
+		remap[t] = &arena[i]
+	}
+	// Adjacency lists share one backing array. Each slice is cut with
+	// its capacity pinned to its length, so a later append (ReplaceConfig
+	// rewiring a survivor) reallocates instead of clobbering the next
+	// task's list.
+	total := 0
+	for _, t := range tg.Tasks {
+		total += len(t.In) + len(t.Out)
+	}
+	backing := make([]*Task, 0, total)
+	for i, t := range tg.Tasks {
+		nt := out.Tasks[i]
+		lo := len(backing)
+		for _, p := range t.In {
+			backing = append(backing, remap[p])
+		}
+		nt.In = backing[lo:len(backing):len(backing)]
+		lo = len(backing)
+		for _, s := range t.Out {
+			backing = append(backing, remap[s])
+		}
+		nt.Out = backing[lo:len(backing):len(backing)]
+	}
+
+	remapList := func(ts []*Task) []*Task {
+		if ts == nil {
+			return nil
+		}
+		o := make([]*Task, len(ts))
+		for i, t := range ts {
+			o[i] = remap[t]
+		}
+		return o
+	}
+	out.fwd = make([][]*Task, len(tg.fwd))
+	for i, ts := range tg.fwd {
+		out.fwd[i] = remapList(ts)
+	}
+	out.bwd = make([][]*Task, len(tg.bwd))
+	for i, ts := range tg.bwd {
+		out.bwd[i] = remapList(ts)
+	}
+	out.extras = make([][]*Task, len(tg.extras))
+	for i, ts := range tg.extras {
+		out.extras[i] = remapList(ts)
+	}
+	for k, ts := range tg.edgeComm {
+		out.edgeComm[k] = remapList(ts)
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package taskgraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"flexflow/internal/config"
+	"flexflow/internal/device"
+	"flexflow/internal/perfmodel"
+)
+
+func TestPlanBaseIsFrozen(t *testing.T) {
+	g := mlp()
+	topo := device.NewSingleNode(2, "P100")
+	plan := Compile(g, topo, config.DataParallel(g, topo), perfmodel.NewAnalyticModel(), Options{})
+	fc1 := g.Op(1)
+	t.Run("replace-config", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("ReplaceConfig on a frozen plan graph did not panic")
+			}
+		}()
+		plan.Base().ReplaceConfig(fc1.ID, config.OnDevice(fc1, 0))
+	})
+	t.Run("compact", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Compact on a frozen plan graph did not panic")
+			}
+		}()
+		plan.Base().Compact()
+	})
+}
+
+// TestPlanInstanceMatchesBuild: an instance is structurally identical to
+// the base — same task count, IDs, slots, metrics, adjacency — and a
+// fresh Build of the same strategy agrees on everything ID-independent.
+func TestPlanInstanceMatchesBuild(t *testing.T) {
+	g := mlp()
+	topo := device.NewSingleNode(4, "P100")
+	s := config.DataParallel(g, topo)
+	plan := Compile(g, topo, s.Clone(), perfmodel.NewAnalyticModel(), Options{})
+	inst := plan.Instance()
+
+	base := plan.Base()
+	if len(inst.Tasks) != len(base.Tasks) || inst.NumSlots() != base.NumSlots() {
+		t.Fatalf("instance shape %d/%d != base %d/%d",
+			len(inst.Tasks), inst.NumSlots(), len(base.Tasks), base.NumSlots())
+	}
+	for i, bt := range base.Tasks {
+		it := inst.Tasks[i]
+		if it == bt {
+			t.Fatalf("task %d shared by pointer between base and instance", i)
+		}
+		if it.ID != bt.ID || it.Slot != bt.Slot || it.Kind != bt.Kind ||
+			it.Device != bt.Device || it.Exe != bt.Exe || len(it.In) != len(bt.In) || len(it.Out) != len(bt.Out) {
+			t.Fatalf("task %d diverged: %+v vs %+v", i, it, bt)
+		}
+		for j, p := range bt.In {
+			if it.In[j].ID != p.ID {
+				t.Fatalf("task %d in-edge %d: %d != %d", i, j, it.In[j].ID, p.ID)
+			}
+			// Remapped into the instance, not aliased into the base.
+			if it.In[j] == p {
+				t.Fatalf("task %d in-edge %d aliases a base task", i, j)
+			}
+		}
+	}
+	if got, want := inst.Metrics(), base.Metrics(); got != want {
+		t.Fatalf("instance metrics %+v != base %+v", got, want)
+	}
+	fresh := Build(g, topo, s.Clone(), perfmodel.NewAnalyticModel(), Options{})
+	if got, want := inst.Metrics(), fresh.Metrics(); got != want {
+		t.Fatalf("instance metrics %+v != fresh build %+v", got, want)
+	}
+}
+
+// TestPlanInstanceIsolation: mutating one instance never leaks into the
+// base or into sibling instances, across random mutation sequences.
+func TestPlanInstanceIsolation(t *testing.T) {
+	g := mlp()
+	topo := device.NewSingleNode(4, "P100")
+	plan := Compile(g, topo, config.DataParallel(g, topo), perfmodel.NewAnalyticModel(), Options{})
+	baseMetrics := plan.Base().Metrics()
+	ref := plan.Instance() // untouched sibling
+
+	rng := rand.New(rand.NewSource(9))
+	ops := g.ComputeOps()
+	mutated := plan.Instance()
+	for i := 0; i < 20; i++ {
+		op := ops[rng.Intn(len(ops))]
+		mutated.ReplaceConfig(op.ID, config.RandomConfig(op, topo, rng))
+	}
+	if got := plan.Base().Metrics(); got != baseMetrics {
+		t.Fatalf("mutating an instance changed the base: %+v vs %+v", got, baseMetrics)
+	}
+	if got := ref.Metrics(); got != baseMetrics {
+		t.Fatalf("mutating an instance changed a sibling: %+v vs %+v", got, baseMetrics)
+	}
+	// The mutated instance still agrees with a fresh build of its
+	// accumulated strategy.
+	fresh := Build(g, topo, mutated.Strat.Clone(), perfmodel.NewAnalyticModel(), Options{})
+	if got, want := mutated.Metrics(), fresh.Metrics(); got != want {
+		t.Fatalf("mutated instance metrics %+v != fresh build %+v", got, want)
+	}
+}
+
+// TestPlanInstancesBitIdentical: two instances applying the same
+// ReplaceConfig sequence assign identical task IDs and slots — the
+// property the parallel Neighborhood sweep's determinism rests on.
+func TestPlanInstancesBitIdentical(t *testing.T) {
+	g := mlp()
+	topo := device.NewSingleNode(4, "P100")
+	plan := Compile(g, topo, config.DataParallel(g, topo), perfmodel.NewAnalyticModel(), Options{})
+	ops := g.ComputeOps()
+
+	run := func() *TaskGraph {
+		inst := plan.Instance()
+		rng := rand.New(rand.NewSource(31))
+		for i := 0; i < 15; i++ {
+			op := ops[rng.Intn(len(ops))]
+			inst.ReplaceConfig(op.ID, config.RandomConfig(op, topo, rng))
+		}
+		return inst
+	}
+	a, b := run(), run()
+	if len(a.Tasks) != len(b.Tasks) {
+		t.Fatalf("task counts diverged: %d vs %d", len(a.Tasks), len(b.Tasks))
+	}
+	for i := range a.Tasks {
+		at, bt := a.Tasks[i], b.Tasks[i]
+		if at.ID != bt.ID || at.Slot != bt.Slot || at.Kind != bt.Kind || at.Exe != bt.Exe || at.Dead != bt.Dead {
+			t.Fatalf("task %d diverged: %v (slot %d) vs %v (slot %d)", i, at, at.Slot, bt, bt.Slot)
+		}
+	}
+}
+
+// TestSlotRecycling: slots stay bounded by the peak alive count across
+// many ReplaceConfig calls, while IDs keep growing — the split that
+// keeps simulator state arrays compact.
+func TestSlotRecycling(t *testing.T) {
+	g := mlp()
+	topo := device.NewSingleNode(2, "P100")
+	tg := Build(g, topo, config.DataParallel(g, topo), perfmodel.NewAnalyticModel(), Options{})
+	fc1 := g.Op(1)
+	peak := tg.NumSlots()
+	for i := 0; i < 40; i++ {
+		tg.ReplaceConfig(fc1.ID, config.OnDevice(fc1, i%2))
+		if tg.NumSlots() > peak {
+			peak = tg.NumSlots()
+		}
+	}
+	if tg.NumSlots() > 2*len(tg.Tasks) {
+		t.Fatalf("slot space %d not bounded by live structure (%d tasks)", tg.NumSlots(), len(tg.Tasks))
+	}
+	// Live tasks always hold distinct slots below NumSlots.
+	seen := map[int]bool{}
+	for _, task := range tg.Tasks {
+		if task.Dead {
+			continue
+		}
+		if task.Slot < 0 || task.Slot >= tg.NumSlots() {
+			t.Fatalf("task %v slot %d outside [0,%d)", task, task.Slot, tg.NumSlots())
+		}
+		if seen[task.Slot] {
+			t.Fatalf("slot %d held by two live tasks", task.Slot)
+		}
+		seen[task.Slot] = true
+	}
+}

@@ -49,10 +49,17 @@ func (k TaskKind) String() string {
 	}
 }
 
-// Task is a node of the task graph. The simulator fills in the timing
-// fields (Ready/Start/End); everything else is set at construction.
+// Task is a node of the task graph. Tasks are structurally immutable
+// once built: all simulation timing lives in sim.State's slot-indexed
+// arrays (see the Slot field), never in the task itself, so a frozen
+// graph (Plan) can be read by any number of concurrent simulations.
 type Task struct {
-	ID   int
+	ID int
+	// Slot indexes the simulator's per-task state arrays. Unlike IDs
+	// (unique forever, the ready-time tie-breaker), slots of dead tasks
+	// are recycled, so the slot space stays as dense as the peak alive
+	// count no matter how many ReplaceConfig calls a graph absorbs.
+	Slot int
 	Kind TaskKind
 	Op   *graph.Op // owning op (nil for cross-op comm tasks)
 	Pass perfmodel.Pass
@@ -75,25 +82,9 @@ type Task struct {
 	In, Out []*Task
 
 	// Dead marks tasks removed by ReplaceConfig; they are skipped by the
-	// simulator and compacted lazily.
+	// simulator and compacted lazily. A dead task's Slot may already
+	// belong to a newer task.
 	Dead bool
-
-	// Timing state owned by the simulator.
-	Ready, Start, End time.Duration
-	// SchedPos is the task's index in its resource's execution order
-	// (simulator-owned scratch; -1 when unscheduled).
-	SchedPos int
-	// SchedPending counts unevaluated predecessors (simulator-owned):
-	// the engine defers a task's first evaluation until all inputs have
-	// been evaluated, like Algorithm 1's NOTREADY/READY states.
-	SchedPending int
-	// SchedDone marks tasks that have been evaluated at least once.
-	SchedDone bool
-	// SchedQueued / SchedKey dedup work-queue entries: SchedQueued marks
-	// a live queue entry and SchedKey its ready-time key, so re-pushing
-	// a task at an unchanged ready time is a no-op.
-	SchedQueued bool
-	SchedKey    time.Duration
 }
 
 func (t *Task) String() string {
@@ -141,6 +132,17 @@ type TaskGraph struct {
 	Tasks  []*Task
 	nextID int
 
+	// Slot allocator: dead tasks return their slot to the free list, so
+	// numSlots (the size a simulator state array needs) tracks the peak
+	// alive count rather than the total tasks ever created.
+	numSlots  int
+	freeSlots []int
+
+	// frozen marks the immutable base graph of a Plan: structural
+	// mutation (ReplaceConfig, Compact) panics. Simulation still works —
+	// sim.State keeps all timing in its own arrays.
+	frozen bool
+
 	// Per-op task groups, indexed by op ID.
 	fwd    [][]*Task // forward compute tasks, by grid index
 	bwd    [][]*Task // backward compute tasks, by grid index
@@ -183,9 +185,20 @@ func Build(g *graph.Graph, topo *device.Topology, strat *config.Strategy, est pe
 func (tg *TaskGraph) newTask(t *Task) *Task {
 	t.ID = tg.nextID
 	tg.nextID++
+	if n := len(tg.freeSlots); n > 0 {
+		t.Slot = tg.freeSlots[n-1]
+		tg.freeSlots = tg.freeSlots[:n-1]
+	} else {
+		t.Slot = tg.numSlots
+		tg.numSlots++
+	}
 	tg.Tasks = append(tg.Tasks, t)
 	return t
 }
+
+// NumSlots returns the size of the per-task state arrays a simulator
+// needs to cover every live task's Slot.
+func (tg *TaskGraph) NumSlots() int { return tg.numSlots }
 
 func addDep(from, to *Task) {
 	from.Out = append(from.Out, to)

@@ -78,7 +78,8 @@ func Timeline(st *sim.State, opts Options) string {
 		busy := time.Duration(0)
 		for _, t := range order {
 			busy += t.Exe
-			lo, hi := scale(t.Start), scale(t.End)
+			_, start, end := st.Times(t)
+			lo, hi := scale(start), scale(end)
 			g := glyph(t)
 			for c := lo; c <= hi && c < width; c++ {
 				row[c] = g

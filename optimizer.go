@@ -338,6 +338,7 @@ func (polishOptimizer) Optimize(ctx context.Context, p Problem, o OptimizeOption
 	best, cost := search.Polish(ctx, p.Graph, p.Topology, p.Estimator, init, search.PolishOptions{
 		Enum:      enumFor(p, o, 4),
 		MaxRounds: o.MaxIters,
+		Workers:   o.Workers,
 		OnEvent:   counting,
 	})
 	emitFinal(onEvent, "polish", cost)
