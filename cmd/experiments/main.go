@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"flexflow/internal/experiments"
+	"flexflow/internal/par"
 )
 
 func main() {
@@ -32,7 +33,7 @@ func main() {
 		exp     = flag.String("exp", "", "experiment ID, or \"all\"")
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
 		full    = flag.Bool("full", false, "paper-scale settings (slow); default is quick scale")
-		workers = flag.Int("workers", 0, "worker pool size for runners, data points and search chains (0 = all CPUs)")
+		workers = flag.Int("workers", 0, "size of the process-wide worker pool shared by runners, data points and search chains (0 = all CPUs)")
 	)
 	flag.Parse()
 
@@ -51,7 +52,9 @@ func main() {
 	if *full {
 		scale = experiments.Full()
 	}
-	scale.Workers = *workers
+	// One knob, one pool: runners, cells, chains and sweeps all nest on
+	// the shared pool under this single bound.
+	par.SetWorkers(*workers)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

@@ -38,7 +38,7 @@ func main() {
 		iters    = flag.Int("iters", 1000, "MCMC proposals per initial strategy (episodes for reinforce, rounds for polish)")
 		budget   = flag.Duration("budget", 30*time.Second, "virtual-time search budget per chain (deterministic; 0 = none)")
 		seed     = flag.Int64("seed", 1, "search seed")
-		workers  = flag.Int("workers", 0, "optimizer-internal concurrency (0 = all CPUs; results are identical for any value)")
+		workers  = flag.Int("workers", 0, "size of the process-wide worker pool all search parallelism shares (0 = all CPUs; results are identical for any value)")
 		progress = flag.Bool("progress", false, "stream best-so-far improvements while the search runs")
 		verbose  = flag.Bool("verbose", false, "print the per-op configuration of the best strategy")
 		export   = flag.String("export", "", "write the best strategy to this JSON file")
@@ -47,6 +47,11 @@ func main() {
 		memCheck = flag.Bool("mem", false, "report per-device memory footprint of the best strategy")
 	)
 	flag.Parse()
+
+	// One knob, one pool: every fan-out level inside the optimizer
+	// (chains, subtrees, sweeps) shares this bound instead of
+	// multiplying per level.
+	flexflow.SetWorkers(*workers)
 
 	g, err := flexflow.ModelScaled(*model, *scale)
 	if err != nil {
@@ -111,7 +116,7 @@ func main() {
 			os.Exit(1)
 		}
 		opts := flexflow.OptimizeOptions{
-			MaxIters: *iters, Budget: *budget, Seed: *seed, Workers: *workers, IncludeExpert: true,
+			MaxIters: *iters, Budget: *budget, Seed: *seed, IncludeExpert: true,
 		}
 		if *progress {
 			// Events arrive concurrently from the optimizer's workers;

@@ -29,6 +29,13 @@ func main() {
 	// 2. The device topology: a single machine with four P100 GPUs.
 	topo := flexflow.NewSingleNode(4, "P100")
 
+	// All search parallelism (MCMC chains, neighbour sweeps, nested
+	// fan-out of any depth) shares one process-wide worker pool;
+	// SetWorkers sizes it. The default is all CPUs, and the pool size
+	// only changes wall-clock time — results are bit-identical for any
+	// value (see docs/CONCURRENCY.md).
+	flexflow.SetWorkers(0)
+
 	// 3. Baselines: what existing frameworks would do.
 	dp := flexflow.DataParallel(g, topo)
 	dpTime, dpM := flexflow.Simulate(g, topo, dp)

@@ -35,6 +35,13 @@
 // are charged in deterministic virtual time, so a budgeted run replays
 // bit-identically for any worker count. Search and SearchOptions remain
 // as deprecated shims over the "mcmc" optimizer.
+//
+// All parallelism — MCMC chains, DFS subtrees, REINFORCE rollouts,
+// Neighborhood sweeps, experiment cells — runs on one process-wide
+// worker pool sized by SetWorkers (default: all CPUs). Nested fan-out
+// composes under that single bound without deadlocking, and results
+// never depend on the pool size; docs/CONCURRENCY.md documents the
+// concurrency and determinism contract.
 package flexflow
 
 import (
@@ -47,6 +54,7 @@ import (
 	"flexflow/internal/graph"
 	"flexflow/internal/memory"
 	"flexflow/internal/models"
+	"flexflow/internal/par"
 	"flexflow/internal/perfmodel"
 	"flexflow/internal/runtime"
 	"flexflow/internal/search"
@@ -77,6 +85,24 @@ type (
 
 // NewGraph creates an empty operator graph.
 func NewGraph(name string) *Graph { return graph.New(name) }
+
+// SetWorkers sizes the process-wide worker pool every parallel loop in
+// this package draws from — optimizer chains and sweeps, the
+// experiments harness, nested fan-out of any depth (n <= 0 resets to
+// the number of CPUs). It returns the effective bound. The bound
+// counts the calling goroutine: one Optimize or experiments run never
+// executes more than n loop bodies at once, however deeply its levels
+// nest, while each additional goroutine concurrently running its own
+// top-level search adds itself on top of the pool's n-1 helpers. The
+// bound only changes wall-clock time, never results: every search is
+// bit-identical for every pool size (see docs/CONCURRENCY.md for the
+// contract). Call it once at startup; it is safe, but rarely useful,
+// to call concurrently with running searches.
+func SetWorkers(n int) int { return par.SetWorkers(n) }
+
+// WorkerBound reports the current process-wide worker bound set by
+// SetWorkers (the number of CPUs if never set).
+func WorkerBound() int { return par.WorkerBound() }
 
 // NewSingleNode builds a single machine with n GPUs ("P100" or "K80").
 func NewSingleNode(gpus int, model string) *Topology { return device.NewSingleNode(gpus, model) }
@@ -154,10 +180,12 @@ type SearchOptions struct {
 	// IncludeExpert adds the expert-designed strategy to the initial
 	// candidates alongside data parallelism and a random strategy.
 	IncludeExpert bool
-	// Workers bounds how many MCMC chains run concurrently (0 =
-	// NumCPU). Results are identical for every value: chain RNG seeds
-	// are derived up front from Seed, so the parallel search is
-	// bit-identical to the serial one.
+	// Workers caps this search's share of the process-wide worker pool
+	// (0 = the pool's full bound). Results are identical for every
+	// value: chain RNG seeds are derived up front from Seed, so the
+	// parallel search is bit-identical to the serial one.
+	//
+	// Deprecated: size the shared pool once with SetWorkers instead.
 	Workers int
 	// Cancel, when non-nil, stops the search early once closed; the
 	// best strategy found so far is returned.

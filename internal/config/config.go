@@ -53,6 +53,7 @@ func (c *Config) Equal(o *Config) bool {
 	return true
 }
 
+// String renders the config as its degree vector and device list.
 func (c *Config) String() string {
 	return fmt.Sprintf("deg=%v dev=%v", c.Degrees, c.Devices)
 }

@@ -16,11 +16,13 @@ import (
 // Kind distinguishes compute device classes.
 type Kind uint8
 
+// The device classes of the paper's clusters.
 const (
 	GPU Kind = iota
 	CPU
 )
 
+// String names the device class.
 func (k Kind) String() string {
 	switch k {
 	case GPU:
@@ -54,6 +56,9 @@ type Device struct {
 // LinkClass identifies a hardware connection class.
 type LinkClass uint8
 
+// The connection classes of the paper's clusters (Figure 6): NVLink
+// and PCIe intra-node, Infiniband across nodes, Loopback for a device
+// talking to itself.
 const (
 	NVLink LinkClass = iota
 	PCIe
@@ -61,6 +66,7 @@ const (
 	Loopback
 )
 
+// String names the connection class.
 func (c LinkClass) String() string {
 	switch c {
 	case NVLink:

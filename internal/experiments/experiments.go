@@ -5,16 +5,20 @@
 // each experiment ID to the paper artifact; EXPERIMENTS.md records
 // paper-vs-measured outcomes.
 //
-// The harness is concurrent: Scale.Workers fans out the registry's
-// runners (under "all") and each experiment's independent data points —
-// Fig7's (model, cluster, gpus) cells, Fig11's (model, topology) cells,
-// Table4's (model, gpus) cells, and so on — over a worker pool, while
-// each cell's searches in turn parallelize their MCMC chains. Cells
+// The harness is concurrent: the registry's runners (under "all") and
+// each experiment's independent data points — Fig7's (model, cluster,
+// gpus) cells, Fig11's (model, topology) cells, Table4's (model, gpus)
+// cells, and so on — fan out over the single process-wide worker pool
+// (internal/par), while each cell's searches in turn fan their MCMC
+// chains and Neighborhood sweeps onto the same pool. The nesting
+// (runners × cells × chains × sweeps) composes under one global bound
+// (par.SetWorkers) via caller-runs scheduling instead of multiplying
+// pools per level; docs/CONCURRENCY.md has the full contract. Cells
 // write rows into fixed positions, so row order never depends on
 // scheduling, and since search budgets are charged in deterministic
 // virtual time (see the search package's determinism contract), the
-// tables are byte-identical to the serial run — budgeted or not. The
-// only experiments left serial are the ones that
+// tables are byte-identical to the serial run — budgeted or not, for
+// every pool size. The only experiments left serial are the ones that
 // measure wall-clock ratios between two timed runs (Fig12) or chain
 // results into the next cell's inputs (the search-space ablation).
 package experiments
@@ -97,17 +101,19 @@ type Scale struct {
 	SearchBudget time.Duration
 	// Seed drives all randomized components.
 	Seed int64
-	// Workers bounds concurrency everywhere the harness fans out: the
-	// registry's runners under Run("all"), each experiment's per-data-
-	// point loops, and the chains/subtrees inside each search (0 =
-	// NumCPU). The bound applies per fan-out level, not globally, so
-	// nested levels can multiply (runners x cells x chains) — Go's
-	// scheduler time-slices the surplus, which never changes results
-	// but does blur the wall-clock measurements the timing experiments
-	// report (a single shared pool is a ROADMAP item). Cells are
-	// computed into fixed row slots, so row order never depends on
-	// scheduling, and the tables are identical for every Workers value
-	// (the searches are worker-count deterministic, budgeted or not).
+	// Workers caps the harness's share of the process-wide worker pool
+	// at every level it fans out — the registry's runners under
+	// Run("all"), each experiment's per-data-point loops, and the
+	// chains/subtrees inside each search (0 = the pool's full bound).
+	// All levels draw from the one shared pool, so nesting (runners x
+	// cells x chains) composes under the single global bound instead of
+	// multiplying. Cells are computed into fixed row slots, so row
+	// order never depends on scheduling, and the tables are identical
+	// for every Workers value and every pool size (the searches are
+	// worker-count deterministic, budgeted or not).
+	//
+	// Deprecated: size the shared pool once with par.SetWorkers instead
+	// of capping the harness.
 	Workers int
 }
 

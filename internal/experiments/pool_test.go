@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"os"
+	"runtime"
+	"testing"
+
+	"flexflow/internal/par"
+)
+
+// TestMain widens the process-wide pool for the whole test binary (the
+// dev/CI machines can be single-core): with a floor of four workers,
+// the harness's nested fan-out — runners × cells × chains × sweeps —
+// is genuinely concurrent under -race instead of degenerating to
+// inline serial loops.
+func TestMain(m *testing.M) {
+	if runtime.NumCPU() < 4 {
+		par.SetWorkers(4)
+	}
+	os.Exit(m.Run())
+}
+
+// TestExperimentsPoolSizeDifferential renders the same experiment at
+// pool sizes 1, 2 and NumCPU and requires byte-identical tables: the
+// whole nested stack (experiment cells × MCMC chains inside each cell)
+// executes on the shared pool, and since cells land in fixed row slots
+// and search budgets are virtual-time, nothing observable may depend
+// on the pool size. Fig7 is the experiment under test because its
+// cells each run a multi-chain search — a real two-deep nesting on the
+// pool, including the degenerate pool of one (which must complete
+// inline: the deadlock-freedom guarantee). Not parallel by design: it
+// owns the global pool knob while it runs.
+func TestExperimentsPoolSizeDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three full experiment renders; skipped in -short")
+	}
+	prev := par.WorkerBound()
+	defer par.SetWorkers(prev)
+
+	scale := testScale()
+	scale.SearchIters = 40
+	render := func() string {
+		return Fig7(bg, scale, []string{"alexnet", "lenet"}, []string{"P100"}).Render()
+	}
+
+	par.SetWorkers(1)
+	ref := render()
+	if ref == "" {
+		t.Fatal("empty reference table")
+	}
+	tried := map[int]bool{1: true}
+	for _, size := range []int{2, runtime.NumCPU(), 4} {
+		if tried[size] {
+			continue
+		}
+		tried[size] = true
+		par.SetWorkers(size)
+		if got := render(); got != ref {
+			t.Errorf("pool=%d: table differs from pool=1\n--- pool=1 ---\n%s\n--- pool=%d ---\n%s", size, ref, size, got)
+		}
+	}
+}

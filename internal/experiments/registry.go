@@ -47,16 +47,16 @@ func IDs() []string {
 }
 
 // timingRunners measure wall-clock ratios (full vs delta simulation),
-// so Run("all") holds them back until the concurrent pool has drained:
+// so Run("all") holds them back until every pooled runner has finished:
 // running them alongside CPU-saturating siblings would skew the very
 // timings they report.
 var timingRunners = map[string]bool{"fig12": true, "table4": true}
 
-// Run executes one experiment by ID. "all" runs every runner across the
-// scale's worker pool (each runner also fans out its own data points
-// against the same knob) — except the wall-clock-ratio runners, which
-// execute serially after the pool drains — and still reports tables in
-// ID order. Cancelling ctx cuts every in-flight search short; the
+// Run executes one experiment by ID. "all" fans every runner out over
+// the process-wide worker pool (each runner's own data-point loops nest
+// onto the same pool under the one global bound) — except the
+// wall-clock-ratio runners, which execute serially after the pooled
+// runners finish — and still reports tables in ID order. Cancelling ctx cuts every in-flight search short; the
 // tables produced so far are still returned.
 func Run(ctx context.Context, id string, scale Scale) ([]*Table, error) {
 	if id == "all" {

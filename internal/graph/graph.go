@@ -147,6 +147,8 @@ func (g *Graph) Validate() error {
 	return nil
 }
 
+// String summarizes the graph: name, op and weight counts, FLOPs per
+// iteration.
 func (g *Graph) String() string {
 	return fmt.Sprintf("graph %q: %d ops, %d weights, %.2f GFLOPs/iter",
 		g.Name, len(g.Ops), g.TotalWeights(), float64(g.TotalFLOPs())/1e9)

@@ -47,6 +47,7 @@ var opKindNames = [...]string{
 	Activation: "Activation", Flatten: "Flatten", Stack: "Stack",
 }
 
+// String names the operator kind.
 func (k OpKind) String() string {
 	if int(k) < len(opKindNames) && opKindNames[k] != "" {
 		return opKindNames[k]
@@ -94,6 +95,7 @@ type Op struct {
 	WeightElems int64
 }
 
+// String renders the op as kind, name and output shape.
 func (o *Op) String() string {
 	return fmt.Sprintf("%s %q out=%s", o.Kind, o.Name, o.Out)
 }

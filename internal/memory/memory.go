@@ -150,6 +150,7 @@ type Violation struct {
 	Capacity int64
 }
 
+// Error describes the overflowing device and by how much.
 func (v Violation) Error() string {
 	return fmt.Sprintf("memory: device %s needs %.2f GB but has %.0f GB",
 		v.Device.Name, float64(v.Usage.Total())/1e9, v.Device.MemGB)

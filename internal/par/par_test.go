@@ -1,37 +1,65 @@
 package par
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
-func TestWorkersDefault(t *testing.T) {
-	if Workers(0) < 1 || Workers(-3) < 1 {
-		t.Fatal("non-positive knob must default to at least one worker")
-	}
-	if Workers(7) != 7 {
-		t.Fatalf("Workers(7) = %d", Workers(7))
+// withBound runs the body under a fixed process-wide bound and restores
+// the previous bound afterwards. The par tests run sequentially (none
+// call t.Parallel), so the global knob is exclusive to each test.
+func withBound(t *testing.T, n int, body func()) {
+	t.Helper()
+	prev := WorkerBound()
+	SetWorkers(n)
+	defer SetWorkers(prev)
+	body()
+}
+
+func TestSetWorkersAndWidth(t *testing.T) {
+	withBound(t, 5, func() {
+		if got := WorkerBound(); got != 5 {
+			t.Fatalf("WorkerBound() = %d after SetWorkers(5)", got)
+		}
+		if got := Width(0); got != 5 {
+			t.Fatalf("Width(0) = %d, want the bound", got)
+		}
+		if got := Width(3); got != 3 {
+			t.Fatalf("Width(3) = %d, want the cap", got)
+		}
+		if got := Width(9); got != 5 {
+			t.Fatalf("Width(9) = %d, want the bound (caps never raise it)", got)
+		}
+	})
+	if got := SetWorkers(0); got != runtime.NumCPU() {
+		t.Fatalf("SetWorkers(0) = %d, want NumCPU", got)
 	}
 }
 
 func TestForEachCoversEveryIndexOnce(t *testing.T) {
-	for _, workers := range []int{1, 2, 4, 16, 0} {
-		const n = 1000
-		counts := make([]int32, n)
-		ForEach(workers, n, func(i int) {
-			atomic.AddInt32(&counts[i], 1)
-		})
-		for i, c := range counts {
-			if c != 1 {
-				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+	for _, bound := range []int{1, 2, 4, 16} {
+		withBound(t, bound, func() {
+			for _, limit := range []int{0, 1, 3} {
+				const n = 1000
+				counts := make([]int32, n)
+				ForEach(limit, n, func(i int) {
+					atomic.AddInt32(&counts[i], 1)
+				})
+				for i, c := range counts {
+					if c != 1 {
+						t.Fatalf("bound=%d limit=%d: index %d ran %d times", bound, limit, i, c)
+					}
+				}
 			}
-		}
+		})
 	}
 }
 
 func TestForEachEmptyAndSingleton(t *testing.T) {
-	ForEach(4, 0, func(i int) { t.Fatal("fn called for n=0") })
+	ForEach(4, 0, func(i int) { t.Error("fn called for n=0") })
 	ran := false
 	ForEach(8, 1, func(i int) { ran = true })
 	if !ran {
@@ -40,29 +68,254 @@ func TestForEachEmptyAndSingleton(t *testing.T) {
 }
 
 func TestForEachSerialRunsInOrderOnCaller(t *testing.T) {
-	var order []int
-	ForEach(1, 5, func(i int) { order = append(order, i) }) // no locking: must be the caller's goroutine
-	for i, v := range order {
-		if v != i {
-			t.Fatalf("serial order = %v", order)
+	withBound(t, 8, func() {
+		var order []int
+		ForEach(1, 5, func(i int) { order = append(order, i) }) // no locking: must be the caller's goroutine
+		for i, v := range order {
+			if v != i {
+				t.Fatalf("serial order = %v", order)
+			}
 		}
-	}
+	})
 }
 
 func TestForEachBoundsConcurrency(t *testing.T) {
-	const workers = 3
-	var cur, peak int32
-	var mu sync.Mutex
-	ForEach(workers, 64, func(i int) {
-		v := atomic.AddInt32(&cur, 1)
-		mu.Lock()
-		if v > peak {
-			peak = v
+	withBound(t, 8, func() {
+		const limit = 3
+		var cur, peak int32
+		var mu sync.Mutex
+		ForEach(limit, 64, func(i int) {
+			v := atomic.AddInt32(&cur, 1)
+			mu.Lock()
+			if v > peak {
+				peak = v
+			}
+			mu.Unlock()
+			runtime.Gosched()
+			atomic.AddInt32(&cur, -1)
+		})
+		if peak > limit {
+			t.Fatalf("observed %d concurrent iterations with limit %d", peak, limit)
 		}
-		mu.Unlock()
-		atomic.AddInt32(&cur, -1)
 	})
-	if peak > workers {
-		t.Fatalf("observed %d concurrent iterations with %d workers", peak, workers)
+}
+
+// completeWithin fails the test if body does not return in time — the
+// deadlock guard of the nesting tests.
+func completeWithin(t *testing.T, d time.Duration, body func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		body()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(d):
+		t.Fatal("nested fan-out did not complete: deadlock")
 	}
+}
+
+// TestNestedForPoolOfOne is the regression test for deadlock-free
+// nested submission at the degenerate bound: a pool of one must
+// complete three-deep nesting inline, on the calling goroutine, with
+// every level's indices in increasing order.
+func TestNestedForPoolOfOne(t *testing.T) {
+	withBound(t, 1, func() {
+		completeWithin(t, 30*time.Second, func() {
+			var trace []int // safe: bound 1 means everything runs inline
+			For(2, func(a int) {
+				trace = append(trace, a)
+				For(2, func(b int) {
+					trace = append(trace, 10+b)
+					For(2, func(c int) {
+						trace = append(trace, 100+c)
+					})
+				})
+			})
+			want := []int{
+				0, 10, 100, 101, 11, 100, 101,
+				1, 10, 100, 101, 11, 100, 101,
+			}
+			if len(trace) != len(want) {
+				t.Fatalf("trace length %d, want %d: %v", len(trace), len(want), trace)
+			}
+			for i := range want {
+				if trace[i] != want[i] {
+					t.Fatalf("pool-of-one nesting out of order at %d: got %v, want %v", i, trace, want)
+				}
+			}
+		})
+	})
+}
+
+// TestNestedForSmallPools drives three-deep nesting through pools of
+// 2, 3 and 8: every leaf must run exactly once and the whole tree must
+// complete — under -race this also certifies the scheduler itself.
+func TestNestedForSmallPools(t *testing.T) {
+	for _, bound := range []int{2, 3, 8} {
+		withBound(t, bound, func() {
+			completeWithin(t, 30*time.Second, func() {
+				const a, b, c = 3, 4, 5
+				var leaves [a * b * c]int32
+				For(a, func(i int) {
+					For(b, func(j int) {
+						For(c, func(k int) {
+							atomic.AddInt32(&leaves[(i*b+j)*c+k], 1)
+						})
+					})
+				})
+				for i, v := range leaves {
+					if v != 1 {
+						t.Fatalf("bound=%d: leaf %d ran %d times", bound, i, v)
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestNestedMaxConcurrency asserts the global invariant the pool
+// exists for: across a three-deep nested fan-out, the number of
+// goroutines concurrently executing loop-body code never exceeds the
+// process-wide bound. Body code is instrumented at every level outside
+// the nested submission itself, so a goroutine suspended inside a
+// nested For (which is helping, not blocking) is counted only through
+// whatever body it is actually executing.
+func TestNestedMaxConcurrency(t *testing.T) {
+	const bound = 3
+	withBound(t, bound, func() {
+		var cur, peak int32
+		track := func() func() {
+			v := atomic.AddInt32(&cur, 1)
+			for {
+				p := atomic.LoadInt32(&peak)
+				if v <= p || atomic.CompareAndSwapInt32(&peak, p, v) {
+					break
+				}
+			}
+			runtime.Gosched()
+			return func() { atomic.AddInt32(&cur, -1) }
+		}
+		completeWithin(t, 30*time.Second, func() {
+			For(4, func(i int) {
+				done := track()
+				done()
+				For(4, func(j int) {
+					done := track()
+					done()
+					For(8, func(k int) {
+						defer track()()
+					})
+				})
+			})
+		})
+		if peak > bound {
+			t.Fatalf("observed %d goroutines in loop bodies with bound %d", peak, bound)
+		}
+	})
+}
+
+// TestForEachPanicDrainsAndRaisesInSubmitter pins the panic contract:
+// whichever goroutine executes the panicking body (the submitter for
+// index 0, usually a helper for a late index), the loop stops handing
+// out indices, drains in-flight bodies, and re-raises the panic in the
+// For caller — who can recover without racing leftover bodies.
+func TestForEachPanicDrainsAndRaisesInSubmitter(t *testing.T) {
+	for _, panicAt := range []int{0, 40} {
+		withBound(t, 4, func() {
+			var ran atomic.Int32
+			func() {
+				defer func() {
+					if r := recover(); r != "boom" {
+						t.Errorf("panicAt=%d: recovered %v, want the body's panic value", panicAt, r)
+					}
+				}()
+				ForEach(0, 64, func(i int) {
+					if i == panicAt {
+						panic("boom")
+					}
+					time.Sleep(100 * time.Microsecond)
+					ran.Add(1)
+				})
+			}()
+			n1 := ran.Load()
+			time.Sleep(20 * time.Millisecond)
+			if n2 := ran.Load(); n2 != n1 {
+				t.Fatalf("panicAt=%d: bodies still ran after ForEach unwound: %d then %d", panicAt, n1, n2)
+			}
+			if n1 >= 63 {
+				t.Fatalf("panicAt=%d: cancel did not skip unclaimed indices: %d of 63 ran", panicAt, n1)
+			}
+		})
+	}
+}
+
+// TestForEachStolenBodyPanicHitsOwningLoop pins the cross-loop case: a
+// goroutine that panics while helping with a *different* loop's body
+// must not corrupt its own loop — the panic surfaces in the owning
+// loop's submitter, and the helper's loop completes every index.
+func TestForEachStolenBodyPanicHitsOwningLoop(t *testing.T) {
+	withBound(t, 4, func() {
+		completeWithin(t, 30*time.Second, func() {
+			var outerRan atomic.Int32
+			var innerPanicSeen atomic.Int32
+			For(4, func(i int) {
+				if i == 0 {
+					// This body submits a nested loop whose bodies all
+					// panic; any of the four pool goroutines may steal
+					// them. The panic must come back HERE (the nested
+					// loop's submitter), not in the stealer's loop.
+					func() {
+						defer func() {
+							if recover() != nil {
+								innerPanicSeen.Add(1)
+							}
+						}()
+						For(8, func(j int) { panic("inner") })
+					}()
+				}
+				time.Sleep(100 * time.Microsecond)
+				outerRan.Add(1)
+			})
+			if innerPanicSeen.Load() != 1 {
+				t.Error("nested panic did not surface in the nested loop's submitter")
+			}
+			if outerRan.Load() != 4 {
+				t.Errorf("outer loop lost indices to a stolen-body panic: ran %d of 4", outerRan.Load())
+			}
+		})
+	})
+}
+
+// TestSetWorkersResize shrinks and regrows the pool between loops: the
+// new bound must govern loops submitted after the change.
+func TestSetWorkersResize(t *testing.T) {
+	withBound(t, 8, func() {
+		For(32, func(i int) {}) // spawn the full helper complement
+		SetWorkers(2)
+		var cur, peak int32
+		For(64, func(i int) {
+			v := atomic.AddInt32(&cur, 1)
+			for {
+				p := atomic.LoadInt32(&peak)
+				if v <= p || atomic.CompareAndSwapInt32(&peak, p, v) {
+					break
+				}
+			}
+			time.Sleep(100 * time.Microsecond)
+			atomic.AddInt32(&cur, -1)
+		})
+		if peak > 2 {
+			t.Fatalf("pool shrunk to 2 but %d bodies ran concurrently", peak)
+		}
+		SetWorkers(8)
+		covered := make([]int32, 128)
+		For(len(covered), func(i int) { atomic.AddInt32(&covered[i], 1) })
+		for i, v := range covered {
+			if v != 1 {
+				t.Fatalf("after regrow, index %d ran %d times", i, v)
+			}
+		}
+	})
 }

@@ -23,13 +23,15 @@ import (
 // Pass distinguishes the training phases a task can belong to.
 type Pass uint8
 
+// The training phases: Forward and Backward propagation, plus Update,
+// which applies accumulated gradients to a weight shard.
 const (
 	Forward Pass = iota
 	Backward
-	// Update applies accumulated gradients to a weight shard.
 	Update
 )
 
+// String abbreviates the pass name ("fwd", "bwd", "upd").
 func (p Pass) String() string {
 	switch p {
 	case Forward:

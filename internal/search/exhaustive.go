@@ -25,9 +25,13 @@ type ExhaustiveOptions struct {
 	MaxCandidatesPerOp int
 	// TaskOpts are forwarded to the task-graph builder.
 	TaskOpts taskgraph.Options
-	// Workers bounds how many DFS subtrees run concurrently (0 =
-	// NumCPU). The optimum cost is identical for every value; see the
-	// package comment for what stays deterministic.
+	// Workers caps this search's share of the process-wide worker pool
+	// (0 = the pool's full bound; see par.SetWorkers). The optimum cost
+	// is identical for every value; see the package comment for what
+	// stays deterministic.
+	//
+	// Deprecated: size the shared pool once with par.SetWorkers instead
+	// of capping individual searches.
 	Workers int
 	// OnEvent, when non-nil, receives a progress event every time a
 	// worker improves the shared pruning bound (Chain = subtree prefix
@@ -108,7 +112,7 @@ func Exhaustive(ctx context.Context, g *graph.Graph, topo *device.Topology, est 
 	// Split the first levels of the tree into enough prefixes to keep
 	// the pool busy (subtree sizes under pruning are wildly uneven, so
 	// oversubscribe by ~8x for load balance).
-	workers := par.Workers(opts.Workers)
+	workers := par.Width(opts.Workers)
 	splitDepth := 0
 	prefixCount := 1
 	for splitDepth < len(ops) && prefixCount < workers*8 {
@@ -256,9 +260,12 @@ type PolishOptions struct {
 	TaskOpts taskgraph.Options
 	// MaxRounds caps the descent rounds (0 = default 20).
 	MaxRounds int
-	// Workers bounds how many per-op candidate sweeps each Neighborhood
-	// round runs concurrently (0 = NumCPU). Results are bit-identical
-	// for every value.
+	// Workers caps the share of the process-wide worker pool each
+	// Neighborhood round's candidate sweep may use (0 = the pool's full
+	// bound). Results are bit-identical for every value.
+	//
+	// Deprecated: size the shared pool once with par.SetWorkers instead
+	// of capping individual searches.
 	Workers int
 	// OnEvent, when non-nil, receives one progress event per completed
 	// round (Chain = round index).
@@ -303,13 +310,17 @@ func Polish(ctx context.Context, g *graph.Graph, topo *device.Topology, est perf
 //
 // The sweep is embarrassingly parallel per op, and runs that way: the
 // strategy is compiled once into an immutable Plan whose base timeline
-// is simulated once; each op's candidate walk then runs on the worker
-// pool against a private Plan.Instance and a State cloned from the base
-// timeline, so workers share only read-only structure. Because every
-// op's walk starts from the identical instance (same task IDs, same
-// base timeline) regardless of which worker runs it or in what order,
-// the result is bit-identical for every workers value (0 = NumCPU);
-// winners merge in (op, candidate) enumeration order.
+// is simulated once; each op's candidate walk then runs on the shared
+// process-wide pool against a private Plan.Instance and a State cloned
+// from the base timeline, so workers share only read-only structure.
+// Because every op's walk starts from the identical instance (same
+// task IDs, same base timeline) regardless of which worker runs it or
+// in what order, the result is bit-identical for every pool size and
+// every workers cap (0 = the pool's full bound); winners merge in
+// (op, candidate) enumeration order. When Neighborhood is itself
+// called from inside a pool worker (Polish inside an experiments
+// cell), the nested fan-out composes under the same global bound
+// instead of multiplying it.
 func Neighborhood(g *graph.Graph, topo *device.Topology, est perfmodel.Estimator, s *config.Strategy, enum config.EnumOptions, taskOpts taskgraph.Options, workers int) (bestCost time.Duration, improving *config.Strategy, checked int) {
 	plan := taskgraph.Compile(g, topo, s.Clone(), est, taskOpts)
 	base := sim.NewState(plan.Base())

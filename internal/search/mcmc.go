@@ -11,8 +11,18 @@
 //
 // # Concurrency and determinism
 //
+// Every fan-out in this package — MCMC chains, exhaustive DFS
+// subtrees, REINFORCE episode rollouts, Neighborhood candidate sweeps
+// — runs on the single process-wide worker pool (internal/par), sized
+// once with par.SetWorkers. Nested fan-out (a Neighborhood sweep
+// inside a Polish round inside an experiments cell) composes under
+// that one bound via caller-runs scheduling instead of multiplying
+// pools; the per-search Workers fields remain as deprecated caps on a
+// search's share of the pool. The full repo-wide contract is written
+// down in docs/CONCURRENCY.md.
+//
 // MCMC runs its independent chains (one per initial strategy, Section
-// 8.1) across a worker pool sized by Options.Workers. The structure is
+// 8.1) across that pool. The structure is
 // compiled once per distinct initial strategy into an immutable
 // taskgraph.Plan whose base timeline is simulated once; each chain then
 // owns a private Plan.Instance and a sim.State cloned from the base —
@@ -115,9 +125,13 @@ type Options struct {
 	// MemoryModel configures the footprint accounting when MemoryCheck
 	// is set (zero value = plain SGD training).
 	MemoryModel memory.Model
-	// Workers bounds how many chains run concurrently (0 = NumCPU).
-	// Results are identical for every value; see the package comment
-	// for the determinism contract.
+	// Workers caps this search's share of the process-wide worker pool
+	// (0 = the pool's full bound; see par.SetWorkers). Results are
+	// identical for every value and every pool size; see the package
+	// comment for the determinism contract.
+	//
+	// Deprecated: size the shared pool once with par.SetWorkers instead
+	// of capping individual searches.
 	Workers int
 	// OnEvent, when non-nil, receives streaming progress events: one
 	// per chain-best improvement plus a final event per chain. It is
@@ -164,7 +178,7 @@ func chainSeed(master int64, chain int) int64 {
 }
 
 // MCMC explores the SOAP space from each initial strategy — one chain
-// per initial, run across Options.Workers goroutines — and returns the
+// per initial, fanned out over the shared worker pool — and returns the
 // best strategy discovered overall. Each chain ends when its iteration
 // or virtual-time budget is exhausted, when ctx is cancelled, or when it
 // has not improved its best for half of its elapsed virtual search time

@@ -1,0 +1,102 @@
+package search
+
+import (
+	"context"
+	"os"
+	"runtime"
+	"testing"
+
+	"flexflow/internal/config"
+	"flexflow/internal/device"
+	"flexflow/internal/par"
+	"flexflow/internal/perfmodel"
+)
+
+// TestMain widens the process-wide pool for the whole test binary: the
+// dev/CI machines can be single-core, and with the default bound of
+// NumCPU the Workers differentials would silently compare serial runs
+// to serial runs. A floor of four keeps every fan-out in this package
+// genuinely concurrent under -race regardless of the host.
+func TestMain(m *testing.M) {
+	if runtime.NumCPU() < 4 {
+		par.SetWorkers(4)
+	}
+	os.Exit(m.Run())
+}
+
+// TestMCMCPoolSizeDifferential is the pool-size analogue of the
+// Workers differentials: resizing the process-wide pool itself (not a
+// per-search cap) between 1, 2 and NumCPU must leave the MCMC result —
+// strategy, cost, proposal counts, stats, trace — bit-identical. It
+// does not call t.Parallel: it owns the global pool knob while it runs
+// (non-parallel tests execute alone), and restores it before the
+// parallel phase starts.
+func TestMCMCPoolSizeDifferential(t *testing.T) {
+	prev := par.WorkerBound()
+	defer par.SetWorkers(prev)
+
+	g := tinyMLP()
+	topo := device.NewSingleNode(4, "P100")
+	est := perfmodel.NewAnalyticModel()
+	opts := DefaultOptions()
+	opts.MaxIters = 150
+	opts.Seed = 11
+	initials := Initials(g, topo, 11, true)
+
+	par.SetWorkers(1)
+	ref := MCMC(context.Background(), g, topo, est, initials, opts)
+	if ref.Iters == 0 || ref.Best == nil {
+		t.Fatalf("degenerate reference result: %+v", ref)
+	}
+	tried := map[int]bool{1: true}
+	for _, size := range []int{2, runtime.NumCPU(), 4} {
+		if tried[size] {
+			continue
+		}
+		tried[size] = true
+		par.SetWorkers(size)
+		got := MCMC(context.Background(), g, topo, est, initials, opts)
+		if got.BestCost != ref.BestCost || !got.Best.Equal(ref.Best) {
+			t.Errorf("pool=%d: Best/BestCost %v differ from pool=1 %v", size, got.BestCost, ref.BestCost)
+		}
+		if got.Iters != ref.Iters || got.Accepted != ref.Accepted {
+			t.Errorf("pool=%d: Iters/Accepted %d/%d != pool=1 %d/%d",
+				size, got.Iters, got.Accepted, ref.Iters, ref.Accepted)
+		}
+		if got.SimStats != ref.SimStats {
+			t.Errorf("pool=%d: SimStats %+v != pool=1 %+v", size, got.SimStats, ref.SimStats)
+		}
+		if len(got.Trace) != len(ref.Trace) {
+			t.Errorf("pool=%d: trace length %d != pool=1 %d", size, len(got.Trace), len(ref.Trace))
+			continue
+		}
+		for i := range ref.Trace {
+			if got.Trace[i] != ref.Trace[i] {
+				t.Errorf("pool=%d: trace[%d] = %+v != pool=1 %+v", size, i, got.Trace[i], ref.Trace[i])
+				break
+			}
+		}
+	}
+}
+
+// TestPolishNestedOnPoolOfOne pins the deadlock-freedom the shared
+// pool promises at its degenerate size: Polish (whose Neighborhood
+// sweeps fan out) still completes on a pool of one, where every level
+// runs inline on the calling goroutine.
+func TestPolishNestedOnPoolOfOne(t *testing.T) {
+	prev := par.WorkerBound()
+	defer par.SetWorkers(prev)
+	par.SetWorkers(1)
+
+	g := tinyMLP()
+	topo := device.NewSingleNode(4, "P100")
+	est := perfmodel.NewAnalyticModel()
+	bad := config.NewStrategy(g)
+	for _, op := range g.ComputeOps() {
+		bad.Set(op.ID, config.OnDevice(op, 0))
+	}
+	best, cost := Polish(context.Background(), g, topo, est, bad, PolishOptions{})
+	if best == nil || cost <= 0 {
+		t.Fatalf("pool-of-one Polish degenerate: cost %v", cost)
+	}
+}

@@ -26,13 +26,17 @@ type ReinforceOptions struct {
 	LR        float64 // policy learning rate
 	Seed      int64
 	TaskOpts  taskgraph.Options
-	// Workers bounds how many episode rollouts of a batch run
-	// concurrently (0 = NumCPU). Rollouts follow the same determinism
-	// recipe as the MCMC chains: episode e draws from a private RNG
-	// seeded by (Seed, e), each rollout samples from the batch-start
-	// policy snapshot and owns its task graph and simulator state, and
-	// results merge in episode order — so the learner is bit-identical
-	// for every Workers value.
+	// Workers caps the share of the process-wide worker pool a batch's
+	// episode rollouts may use (0 = the pool's full bound; see
+	// par.SetWorkers). Rollouts follow the same determinism recipe as
+	// the MCMC chains: episode e draws from a private RNG seeded by
+	// (Seed, e), each rollout samples from the batch-start policy
+	// snapshot and owns its task graph and simulator state, and results
+	// merge in episode order — so the learner is bit-identical for
+	// every Workers value and every pool size.
+	//
+	// Deprecated: size the shared pool once with par.SetWorkers instead
+	// of capping individual searches.
 	Workers int
 	// OnEvent, when non-nil, receives one progress event per gradient
 	// batch (Chain = batch index, Iter = episodes completed).

@@ -36,6 +36,7 @@ const (
 	Update
 )
 
+// String names the task kind.
 func (k TaskKind) String() string {
 	switch k {
 	case Compute:
@@ -87,6 +88,8 @@ type Task struct {
 	Dead bool
 }
 
+// String renders the task with its id, kind, pass, op, device and
+// exe-time fields for debugging and timeline dumps.
 func (t *Task) String() string {
 	opName := "-"
 	if t.Op != nil {

@@ -38,6 +38,7 @@ const (
 	Unsplittable
 )
 
+// String names the dimension kind.
 func (k DimKind) String() string {
 	switch k {
 	case Sample:
@@ -153,6 +154,7 @@ func (s Shape) Equal(o Shape) bool {
 	return true
 }
 
+// String renders the shape as name=size pairs in dimension order.
 func (s Shape) String() string {
 	parts := make([]string, len(s.Dims))
 	for i, d := range s.Dims {
@@ -192,6 +194,7 @@ func (iv Interval) Clamp(size int) Interval {
 	return iv.Intersect(Interval{0, size})
 }
 
+// String renders the interval in half-open notation.
 func (iv Interval) String() string { return fmt.Sprintf("[%d,%d)", iv.Lo, iv.Hi) }
 
 // Region is a hyper-rectangular sub-tensor: one interval per dimension.
@@ -277,6 +280,7 @@ func (r Region) Clone() Region {
 	return out
 }
 
+// String renders the region as one half-open interval per dimension.
 func (r Region) String() string {
 	parts := make([]string, len(r.Iv))
 	for i, iv := range r.Iv {

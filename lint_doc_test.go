@@ -1,0 +1,140 @@
+package flexflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExportedDocComments is the doc lint gate CI runs: every exported
+// top-level identifier in every package of the module — functions,
+// methods on exported types, types, and const/var specs — must carry a
+// doc comment, so `go doc` and pkg.go.dev output stays
+// self-explanatory. Grouped const/var declarations may document the
+// group instead of each spec.
+func TestExportedDocComments(t *testing.T) {
+	root, err := filepath.Abs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var missing []string
+	report := func(fset *token.FileSet, pos token.Pos, what string) {
+		p := fset.Position(pos)
+		rel, err := filepath.Rel(root, p.Filename)
+		if err != nil {
+			rel = p.Filename
+		}
+		missing = append(missing, fmt.Sprintf("%s:%d: exported %s has no doc comment", rel, p.Line, what))
+	}
+
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if name := d.Name(); name != "." && strings.HasPrefix(name, ".") {
+			return filepath.SkipDir
+		}
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, path, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		for _, pkg := range pkgs {
+			for _, file := range pkg.Files {
+				lintFile(fset, file, report)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range missing {
+		t.Error(m)
+	}
+	if len(missing) > 0 {
+		t.Logf("%d exported identifiers without doc comments; document them (grouped const/var blocks may document the group)", len(missing))
+	}
+}
+
+// lintFile reports every exported top-level declaration of one parsed
+// file that lacks a doc comment.
+func lintFile(fset *token.FileSet, file *ast.File, report func(*token.FileSet, token.Pos, string)) {
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() {
+				continue
+			}
+			// Methods on unexported receiver types are not part of the
+			// documented surface.
+			if d.Recv != nil && !exportedReceiver(d.Recv) {
+				continue
+			}
+			if d.Doc == nil {
+				kind := "function " + d.Name.Name
+				if d.Recv != nil {
+					kind = "method " + d.Name.Name
+				}
+				report(fset, d.Pos(), kind)
+			}
+		case *ast.GenDecl:
+			lintGenDecl(fset, d, report)
+		}
+	}
+}
+
+// lintGenDecl checks the specs of one const/var/type declaration: a
+// doc on the declaration covers grouped const/var specs, while each
+// exported type needs a doc of its own (on the decl or the spec).
+func lintGenDecl(fset *token.FileSet, d *ast.GenDecl, report func(*token.FileSet, token.Pos, string)) {
+	switch d.Tok {
+	case token.TYPE:
+		for _, spec := range d.Specs {
+			s := spec.(*ast.TypeSpec)
+			if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+				report(fset, s.Pos(), "type "+s.Name.Name)
+			}
+		}
+	case token.CONST, token.VAR:
+		for _, spec := range d.Specs {
+			s := spec.(*ast.ValueSpec)
+			for _, name := range s.Names {
+				if name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					report(fset, name.Pos(), d.Tok.String()+" "+name.Name)
+				}
+			}
+		}
+	}
+}
+
+// exportedReceiver reports whether a method receiver names an exported
+// type.
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return false
+		}
+	}
+}

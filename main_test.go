@@ -1,0 +1,21 @@
+package flexflow
+
+import (
+	"os"
+	"runtime"
+	"testing"
+)
+
+// TestMain widens the process-wide worker pool for the whole root test
+// binary when the host is nearly serial (single-core CI runners): the
+// registry tests, the parallel benchmarks and the examples then
+// exercise real concurrency under -race instead of degenerating to
+// inline loops. Results are pool-size independent either way — that is
+// the contract docs/CONCURRENCY.md pins — so this only changes what
+// the race detector gets to see.
+func TestMain(m *testing.M) {
+	if runtime.NumCPU() < 4 {
+		SetWorkers(4)
+	}
+	os.Exit(m.Run())
+}

@@ -47,9 +47,14 @@ type OptimizeOptions struct {
 	// IncludeExpert adds the expert-designed strategy to MCMC's initial
 	// candidates alongside data parallelism and a random strategy.
 	IncludeExpert bool
-	// Workers bounds each optimizer's internal parallelism — MCMC
-	// chains, exhaustive DFS subtrees, REINFORCE episode rollouts
-	// (0 = NumCPU). Results are identical for every value.
+	// Workers caps this Optimize call's share of the process-wide
+	// worker pool — MCMC chains, exhaustive DFS subtrees, REINFORCE
+	// episode rollouts, Neighborhood sweeps (0 = the pool's full
+	// bound). Results are identical for every value and every pool
+	// size.
+	//
+	// Deprecated: size the shared pool once with SetWorkers instead of
+	// capping individual calls; see docs/CONCURRENCY.md.
 	Workers int
 	// Initial seeds the search with an existing strategy: MCMC runs a
 	// single chain from it, polish descends from it. When nil, MCMC

@@ -2,7 +2,10 @@ package flexflow
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -134,6 +137,128 @@ func TestOptimizerProgressStreaming(t *testing.T) {
 	if bestSeen != res.BestCost {
 		t.Fatalf("best final event %v != result %v", bestSeen, res.BestCost)
 	}
+}
+
+// exampleProblem is the tiny model the Example functions share: small
+// enough that every optimizer finishes in milliseconds, large enough
+// that the search space is non-trivial.
+func exampleProblem() Problem {
+	g := NewGraph("mlp")
+	x := g.Input4D("images", 8, 2, 8, 8)
+	c := g.Conv2D("conv", x, 4, 3, 3, 1, 1, 1, 1)
+	f := g.Flatten("flat", c)
+	g.Dense("fc", f, 8)
+	return Problem{Graph: g, Topology: NewSingleNode(2, "P100")}
+}
+
+// ExampleGetOptimizer runs the paper's MCMC execution optimizer on a
+// small model. The search seeds its initial candidates with data
+// parallelism, so the result is never worse than the data-parallel
+// baseline — and for a fixed Seed it is bit-identical run to run,
+// regardless of the worker-pool size.
+func ExampleGetOptimizer() {
+	p := exampleProblem()
+	opt, err := GetOptimizer("mcmc")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := opt.Optimize(context.Background(), p, OptimizeOptions{MaxIters: 80, Seed: 1})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	dp, _ := Simulate(p.Graph, p.Topology, DataParallel(p.Graph, p.Topology))
+	fmt.Println("algorithm:", res.Algorithm)
+	fmt.Println("at least as fast as data parallelism:", res.BestCost <= dp)
+	// Output:
+	// algorithm: mcmc
+	// at least as fast as data parallelism: true
+}
+
+// ExampleOptimizer shows the contract every registered algorithm
+// honors: context-driven cancellation, streaming progress through
+// OptimizeOptions.OnEvent (called concurrently — use synchronized
+// state), and a usable best strategy on success.
+func ExampleOptimizer() {
+	p := exampleProblem()
+	opt, err := GetOptimizer("mcmc")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	var events atomic.Int32
+	res, err := opt.Optimize(context.Background(), p, OptimizeOptions{
+		MaxIters: 60,
+		Seed:     1,
+		OnEvent:  func(ProgressEvent) { events.Add(1) },
+	})
+	fmt.Println("err:", err)
+	fmt.Println("streamed progress:", events.Load() > 0)
+	fmt.Println("found a strategy:", res.Best != nil && res.BestCost > 0)
+	// Output:
+	// err: <nil>
+	// streamed progress: true
+	// found a strategy: true
+}
+
+// baselineOptimizer is the custom Optimizer of the
+// ExampleRegisterOptimizer below: it "searches" by returning the
+// data-parallel baseline. A real implementation should honor ctx by
+// returning its best-so-far strategy promptly when cancelled.
+type baselineOptimizer struct{}
+
+// Name implements Optimizer.
+func (baselineOptimizer) Name() string { return "baseline" }
+
+// Optimize implements Optimizer.
+func (baselineOptimizer) Optimize(ctx context.Context, p Problem, o OptimizeOptions) (Result, error) {
+	if p.Graph == nil || p.Topology == nil {
+		return Result{Algorithm: "baseline"}, errors.New("baseline: Problem needs a Graph and a Topology")
+	}
+	s := DataParallel(p.Graph, p.Topology)
+	cost, _ := Simulate(p.Graph, p.Topology, s)
+	return Result{Algorithm: "baseline", Best: s, BestCost: cost, Iters: 1}, ctx.Err()
+}
+
+// registerBaselineOnce keeps the example rerunnable (go test -count>1
+// shares one process, and duplicate registration panics by contract).
+var registerBaselineOnce sync.Once
+
+// ExampleRegisterOptimizer plugs a custom algorithm into the registry
+// next to the built-ins; anything constructed by GetOptimizer is
+// driven through the exact same Optimize contract.
+func ExampleRegisterOptimizer() {
+	registerBaselineOnce.Do(func() {
+		RegisterOptimizer("baseline", func() Optimizer { return baselineOptimizer{} })
+	})
+	p := exampleProblem()
+	opt, err := GetOptimizer("baseline")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := opt.Optimize(context.Background(), p, OptimizeOptions{})
+	fmt.Println("err:", err)
+	fmt.Println("algorithm:", res.Algorithm)
+	fmt.Println("valid strategy:", res.Best.Validate(p.Graph, p.Topology) == nil)
+	// Output:
+	// err: <nil>
+	// algorithm: baseline
+	// valid strategy: true
+}
+
+// ExampleSetWorkers sizes the process-wide worker pool that every
+// optimizer and the experiments harness share. The bound changes only
+// wall-clock time — results are bit-identical for every pool size —
+// so set it once at startup (or leave the all-CPUs default).
+func ExampleSetWorkers() {
+	prev := WorkerBound()
+	defer SetWorkers(prev)
+	SetWorkers(2) // cap the whole process at two workers
+	fmt.Println("pool bound:", WorkerBound())
+	// Output:
+	// pool bound: 2
 }
 
 // TestSearchShimStillWorks pins the deprecated path: flexflow.Search and
