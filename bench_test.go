@@ -1,5 +1,5 @@
 // Benchmarks regenerating the paper's tables and figures (one benchmark
-// per artifact; see DESIGN.md's per-experiment index) plus substrate
+// per artifact; see docs/EXPERIMENTS.md's registry map) plus substrate
 // micro-benchmarks for the components the paper's claims rest on: task
 // graph construction, the full vs delta simulation algorithms (Table 4's
 // subject), and the search loop.

@@ -6,12 +6,20 @@
 // best-so-far improvements live; ^C cancels the search and reports the
 // best strategy found so far.
 //
+// Budgeted searches (-budget) are charged in deterministic virtual
+// time; -calibrate measures real proposal costs for -model on this
+// machine and writes a fitted cost profile, and -cost-profile loads one
+// so virtual seconds track wall seconds (a missing or invalid profile
+// falls back to the built-in defaults with a warning).
+//
 // Examples:
 //
 //	flexflow -model nmt -cluster p100 -gpus 16 -iters 2000
 //	flexflow -model inception-v3 -cluster k80 -gpus 4 -scale 8 -verbose
 //	flexflow -model lenet -scale 16 -algo exhaustive -gpus 2
 //	flexflow -model rnnlm -algo reinforce -progress
+//	flexflow -calibrate -model lenet -scale 16 -cost-profile profile.json
+//	flexflow -cost-profile profile.json -model nmt -budget 30s
 package main
 
 import (
@@ -45,6 +53,10 @@ func main() {
 		importF  = flag.String("import", "", "evaluate a previously exported strategy instead of searching")
 		timeline = flag.Bool("timeline", false, "render the best strategy's schedule as an ASCII Gantt chart")
 		memCheck = flag.Bool("mem", false, "report per-device memory footprint of the best strategy")
+
+		calibrate    = flag.Bool("calibrate", false, "measure proposal costs for -model at -scale, write the fitted cost profile to -cost-profile, and exit")
+		costProfile  = flag.String("cost-profile", "", "virtual-time cost profile JSON: loaded before searching, or the output path with -calibrate (default cost-profile.json)")
+		calibBatches = flag.Int("calib-batches", 0, "timed batches per calibration point (0 = default)")
 	)
 	flag.Parse()
 
@@ -52,6 +64,45 @@ func main() {
 	// (chains, subtrees, sweeps) shares this bound instead of
 	// multiplying per level.
 	flexflow.SetWorkers(*workers)
+
+	// ^C cancels the context; every optimizer returns promptly with the
+	// best strategy it had found, and the report below still prints.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *calibrate {
+		path := *costProfile
+		if path == "" {
+			path = "cost-profile.json"
+		}
+		prof, err := flexflow.Calibrate(ctx, flexflow.CalibrateOptions{
+			Models:  []string{*model},
+			Scale:   *scale,
+			GPUs:    *gpus,
+			Batches: *calibBatches,
+			Logf: func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := flexflow.SaveCostProfile(prof, path); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("cost profile (%s) written to %s\n", prof.Describe(), path)
+		return
+	}
+	if *costProfile != "" {
+		desc, warn := flexflow.InstallCostProfile(*costProfile)
+		if warn != nil {
+			fmt.Fprintf(os.Stderr, "warning: %v; budgets fall back to the built-in cost defaults\n", warn)
+		} else {
+			fmt.Printf("cost profile: %s\n", desc)
+		}
+	}
 
 	g, err := flexflow.ModelScaled(*model, *scale)
 	if err != nil {
@@ -76,11 +127,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown cluster %q (want p100 or k80)\n", *cluster)
 		os.Exit(1)
 	}
-
-	// ^C cancels the context; every optimizer returns promptly with the
-	// best strategy it had found, and the report below still prints.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
 
 	fmt.Printf("model: %s\n", g)
 	fmt.Printf("cluster: %s with %d GPUs\n\n", topo.Name, len(topo.GPUs()))

@@ -6,8 +6,8 @@
 // against and an emulated distributed runtime.
 //
 // The top-level package is a facade over the internal packages; see
-// README.md for a tour and DESIGN.md for the architecture and the
-// paper-to-module map.
+// README.md for a tour and docs/ARCHITECTURE.md for the architecture
+// and the paper-to-module map.
 //
 // Every strategy-search algorithm — the paper's MCMC optimizer and the
 // baselines it is evaluated against (exhaustive DFS with pruning, the
@@ -33,8 +33,12 @@
 // and returns the best strategy found so far; OptimizeOptions.OnEvent
 // streams best-so-far progress while the search runs; and MCMC budgets
 // are charged in deterministic virtual time, so a budgeted run replays
-// bit-identically for any worker count. Search and SearchOptions remain
-// as deprecated shims over the "mcmc" optimizer.
+// bit-identically for any worker count. Budgets are priced by a cost
+// profile: Calibrate fits one from measured proposal costs,
+// SetCostProfile installs it (and Save/LoadCostProfile persist it), so
+// a virtual budget of N seconds tracks wall-clock N seconds on the
+// calibrated machine. Search and SearchOptions remain as deprecated
+// shims over the "mcmc" optimizer.
 //
 // All parallelism — MCMC chains, DFS subtrees, REINFORCE rollouts,
 // Neighborhood sweeps, experiment cells — runs on one process-wide
@@ -169,9 +173,10 @@ type SearchOptions struct {
 	// MaxIters caps MCMC proposals per initial strategy (default 2000).
 	MaxIters int
 	// Budget caps search time per chain in deterministic virtual time
-	// (0 = none): proposals are charged a calibrated cost, so a
-	// budgeted run executes a fixed proposal count and replays exactly.
-	// For a wall-clock limit, use Optimize with a deadline context.
+	// (0 = none): proposals are priced by the installed cost profile
+	// (SetCostProfile; built-in defaults otherwise), so a budgeted run
+	// executes a fixed proposal count and replays exactly. For a
+	// wall-clock limit, use Optimize with a deadline context.
 	Budget time.Duration
 	// Beta is the Metropolis-Hastings temperature (default 15).
 	Beta float64

@@ -1,0 +1,79 @@
+package calib
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Save writes the profile as indented JSON at path, creating parent
+// directories as needed. The write goes through a temporary file plus
+// rename, so a crash never leaves a half-written profile behind.
+func Save(p *Profile, path string) error {
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("calib: refusing to save invalid profile: %w", err)
+	}
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".cost-profile-*.json")
+	if err != nil {
+		return err
+	}
+	// CreateTemp's 0600 would survive the rename; a profile is shared
+	// configuration, not a secret.
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Load reads and validates a profile written by Save. It returns an
+// error for a missing or unreadable file, malformed JSON, a version
+// other than Version, and non-monotone or non-finite parameters — the
+// caller decides whether to fall back (see LoadOrDefault).
+func Load(path string) (*Profile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("calib: reading profile: %w", err)
+	}
+	var p Profile
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("calib: parsing profile %s: %w", path, err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("calib: profile %s: %w", path, err)
+	}
+	return &p, nil
+}
+
+// LoadOrDefault loads the profile at path, falling back to the built-in
+// defaults when the file is missing, corrupt, version-skewed or
+// otherwise invalid. The returned profile is always usable; the error,
+// when non-nil, explains why the fallback was taken (log it as a
+// warning — budgets still work, just with order-of-magnitude costs).
+func LoadOrDefault(path string) (*Profile, error) {
+	p, err := Load(path)
+	if err != nil {
+		return Default(), err
+	}
+	return p, nil
+}

@@ -7,7 +7,7 @@ import "time"
 // The paper labels its fabrics "100 GB/s" and "56 GB/s"; the physical
 // parts (EDR and FDR Infiniband) are 100 Gb/s and 56 Gb/s, so we use the
 // byte-rate equivalents. Only the ratios between link classes matter for
-// strategy selection, and those are preserved. See DESIGN.md.
+// strategy selection, and those are preserved.
 const (
 	p100GFLOPS = 9300.0 // Tesla P100 peak fp32
 	p100MemBW  = 732.0  // GB/s HBM2

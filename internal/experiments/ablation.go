@@ -91,7 +91,7 @@ func AblationBeta(ctx context.Context, scale Scale) *Table {
 
 // AblationSync compares ring vs star (parameter-server style) gradient
 // synchronization under data parallelism, the task-graph design choice
-// called out in DESIGN.md.
+// behind taskgraph.Options.StarSync.
 func AblationSync(scale Scale) *Table {
 	spec, _ := models.Get("rnnlm")
 	g := scale.build(spec)

@@ -1,9 +1,9 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation (Section 8). Each experiment builds the relevant models,
 // clusters and strategies, runs the simulator/optimizer/runtime, and
-// returns a Table whose rows mirror what the paper plots. DESIGN.md maps
-// each experiment ID to the paper artifact; EXPERIMENTS.md records
-// paper-vs-measured outcomes.
+// returns a Table whose rows mirror what the paper plots.
+// docs/EXPERIMENTS.md maps each experiment ID to its paper artifact,
+// CLI invocation and output shape.
 //
 // The harness is concurrent: the registry's runners (under "all") and
 // each experiment's independent data points — Fig7's (model, cluster,

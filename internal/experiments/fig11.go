@@ -18,9 +18,9 @@ import (
 
 // Fig11 reproduces Figure 11: simulated vs real execution time for many
 // strategies of Inception-v3 and NMT on four device topologies. "Real"
-// time comes from the distributed-runtime emulator (see DESIGN.md for
-// the substitution), which violates the simulator's assumptions the way
-// hardware does.
+// time comes from the distributed-runtime emulator (internal/runtime
+// stands in for the paper's GPU cluster; docs/ARCHITECTURE.md), which
+// violates the simulator's assumptions the way hardware does.
 //
 // Shape to match: every point within 30% relative difference, and the
 // simulated ordering of strategies preserves the real ordering

@@ -1,6 +1,6 @@
 // Package perfmodel estimates the execution time of DNN operator tasks
 // on devices. It substitutes for the cuDNN/cuBLAS micro-benchmarks the
-// paper runs on real GPUs (see DESIGN.md): the AnalyticModel is a
+// paper runs on real GPUs (docs/ARCHITECTURE.md): the AnalyticModel is a
 // roofline-style device model standing in for the hardware, and the
 // MeasuringEstimator reproduces FlexFlow's actual mechanism — measure an
 // operation once per (kind, output size, device kind), cache the result,

@@ -33,16 +33,18 @@
 // pool or in which order chains are scheduled.
 //
 // Budgets are charged in virtual time: every proposal costs a
-// calibrated, deterministic amount (see proposalCost), so Budget > 0
+// deterministic amount priced by the active CostModel — a measured
+// calibration profile (internal/calib) when one is installed, the
+// built-in order-of-magnitude constants otherwise — so Budget > 0
 // bounds a fixed proposal count per chain and the paper's
 // "no improvement for half the search time" criterion is evaluated
 // against the chain's virtual clock. The determinism contract is
-// therefore unconditional: for a fixed Seed the result (Best, BestCost,
-// Iters, Accepted, Trace, SimStats — everything except the wall-clock
-// SearchTime) is bit-identical for every Workers value, budgeted or
-// not, run to run. Wall-clock limits belong to the context (use
-// context.WithTimeout), which trades that reproducibility for a hard
-// deadline.
+// therefore unconditional: for a fixed Seed and a fixed cost model the
+// result (Best, BestCost, Iters, Accepted, Trace, SimStats —
+// everything except the wall-clock SearchTime) is bit-identical for
+// every Workers value, budgeted or not, run to run. Wall-clock limits
+// belong to the context (use context.WithTimeout), which trades that
+// reproducibility for a hard deadline.
 //
 // Exhaustive fans its pruned DFS out over the same pool; BestCost stays
 // deterministic (the shared bound only ever prunes subtrees that cannot
@@ -67,7 +69,8 @@ import (
 )
 
 // Space restricts which output-dimension kinds proposals may partition —
-// the search-space ablation of DESIGN.md.
+// the search-space ablation (the "ablation-space" experiment,
+// docs/EXPERIMENTS.md).
 type Space uint8
 
 const (
@@ -103,9 +106,9 @@ type Options struct {
 	MaxIters int
 	// Budget caps the *virtual* search time per initial strategy
 	// (0 = unlimited; MaxIters still applies). Proposals are charged a
-	// calibrated deterministic cost (see proposalCost), so a budgeted
-	// run executes a fixed proposal count and replays exactly. Bound
-	// wall-clock time through the context instead.
+	// deterministic cost by the active CostModel (see Cost), so a
+	// budgeted run executes a fixed proposal count and replays exactly.
+	// Bound wall-clock time through the context instead.
 	Budget time.Duration
 	// Seed makes the search reproducible.
 	Seed int64
@@ -125,6 +128,13 @@ type Options struct {
 	// MemoryModel configures the footprint accounting when MemoryCheck
 	// is set (zero value = plain SGD training).
 	MemoryModel memory.Model
+	// Cost prices proposals for the virtual-time budget (nil = the
+	// process-wide default installed by SetDefaultCostModel, which is
+	// the built-in order-of-magnitude constants unless a fitted
+	// calibration profile has been installed). It is resolved once at
+	// search start, so a fixed cost model keeps budgeted runs
+	// bit-identical across Workers values and pool sizes.
+	Cost CostModel
 	// Workers caps this search's share of the process-wide worker pool
 	// (0 = the pool's full bound; see par.SetWorkers). Results are
 	// identical for every value and every pool size; see the package
@@ -191,6 +201,12 @@ func MCMC(ctx context.Context, g *graph.Graph, topo *device.Topology, est perfmo
 	}
 	if opts.MaxIters == 0 {
 		opts.MaxIters = DefaultOptions().MaxIters
+	}
+	// Resolve the cost model once, before the fan-out: every chain
+	// prices proposals identically even if SetDefaultCostModel is
+	// called while the search runs.
+	if opts.Cost == nil {
+		opts.Cost = defaultCostModel()
 	}
 	start := time.Now()
 	if len(initials) == 0 {
@@ -272,10 +288,11 @@ func runChain(ctx context.Context, g *graph.Graph, topo *device.Topology, est pe
 	st := start0.base.CloneFor(tg)
 	cost := st.Makespan
 
-	// The chain's deterministic clock: every proposal advances it by a
-	// calibrated amount that depends only on the task-graph size, so the
-	// budget and the half-time stopping criterion replay exactly.
-	perProposal := proposalCost(len(tg.Tasks), opts.FullSim)
+	// The chain's deterministic clock: every proposal advances it by an
+	// amount the cost model derives only from (model, task-graph size,
+	// simulation mode), so the budget and the half-time stopping
+	// criterion replay exactly for a fixed model/profile.
+	perProposal := opts.Cost.ProposalCost(g.Name, len(tg.Tasks), opts.FullSim)
 	virtual := func(it int) time.Duration { return time.Duration(it) * perProposal }
 
 	res := Result{

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"flexflow/internal/calib"
 	"flexflow/internal/config"
 	"flexflow/internal/device"
 	"flexflow/internal/graph"
@@ -115,6 +116,36 @@ func TestMCMCVirtualBudgetDeterministic(t *testing.T) {
 		if !same(ref, pl) {
 			t.Fatalf("workers=%d budgeted run diverged from serial: %d vs %d iters, %v vs %v",
 				workers, pl.Iters, ref.Iters, pl.BestCost, ref.BestCost)
+		}
+	}
+
+	// The same contract holds under a fixed calibration profile: the
+	// profile reprices proposals (so the budget binds at a different
+	// proposal count than the built-in constants), and for that fixed
+	// profile the run stays bit-identical across invocations and
+	// Workers values.
+	prof := &calib.Profile{
+		Version: calib.Version,
+		Modes: map[calib.Mode]calib.Params{
+			calib.ModeDelta: {BaseNS: 4_000, PerTaskNS: 37},
+			calib.ModeFull:  {BaseNS: 4_000, PerTaskNS: 410},
+		},
+	}
+	opts.Cost = prof
+	opts.Workers = 1
+	profRef := MCMC(context.Background(), g, topo, est, initials, opts)
+	if profRef.Iters == 0 || profRef.Iters >= opts.MaxIters {
+		t.Fatalf("budget did not bind under the profile: %d proposals", profRef.Iters)
+	}
+	if profRef.Iters == ref.Iters {
+		t.Fatalf("profile did not change the proposal pricing: %d iters either way", ref.Iters)
+	}
+	for _, workers := range []int{1, 2, runtime.NumCPU()} {
+		opts.Workers = workers
+		pl := MCMC(context.Background(), g, topo, est, initials, opts)
+		if !same(profRef, pl) {
+			t.Fatalf("workers=%d fixed-profile budgeted run diverged: %d vs %d iters, %v vs %v",
+				workers, pl.Iters, profRef.Iters, pl.BestCost, profRef.BestCost)
 		}
 	}
 }

@@ -5,62 +5,151 @@ import (
 	"testing"
 	"time"
 
+	"flexflow/internal/calib"
 	"flexflow/internal/config"
 	"flexflow/internal/device"
+	"flexflow/internal/models"
 	"flexflow/internal/perfmodel"
 	"flexflow/internal/taskgraph"
 )
 
 func TestProposalCostScaling(t *testing.T) {
-	small := proposalCost(100, false)
-	big := proposalCost(10000, false)
+	cm := DefaultCostModel()
+	small := cm.ProposalCost("mlp", 100, false)
+	big := cm.ProposalCost("mlp", 10000, false)
 	if big <= small {
 		t.Fatalf("delta proposal cost must grow with graph size: %v vs %v", big, small)
 	}
-	if full := proposalCost(10000, true); full <= big {
+	if full := cm.ProposalCost("mlp", 10000, true); full <= big {
 		t.Fatalf("full-sim proposal (%v) must cost more than delta (%v)", full, big)
 	}
 }
 
-// TestVirtualTimeDriftReport measures how far the calibration constants
-// in progress.go sit from reality: it runs a single-worker micro-search,
-// compares the wall clock against the virtual clock the budget machinery
-// charged, and *reports* the drift (t.Log, never a failure — wall time
-// on a loaded CI box proves nothing). This is the groundwork for the
-// ROADMAP calibration item: the logged ratio is exactly the per-model
-// correction factor a calibrated proposalCost would apply.
+// TestSetDefaultCostModel pins the process-wide default: installing a
+// model changes what nil-Cost searches charge, nil restores the
+// built-in constants, and the previous model is returned for scoped
+// swaps.
+func TestSetDefaultCostModel(t *testing.T) {
+	fixed := &calib.Profile{
+		Version: calib.Version,
+		Modes: map[calib.Mode]calib.Params{
+			calib.ModeDelta: {BaseNS: 1000, PerTaskNS: 10},
+			calib.ModeFull:  {BaseNS: 1000, PerTaskNS: 100},
+		},
+	}
+	prev := SetDefaultCostModel(fixed)
+	defer SetDefaultCostModel(prev)
+	if got := defaultCostModel().ProposalCost("x", 100, false); got != fixed.ProposalCost("x", 100, false) {
+		t.Fatalf("installed cost model not active: %v", got)
+	}
+	if restored := SetDefaultCostModel(nil); restored != CostModel(fixed) {
+		t.Fatalf("SetDefaultCostModel did not return the previous model")
+	}
+	builtin := DefaultCostModel().ProposalCost("x", 100, false)
+	if got := defaultCostModel().ProposalCost("x", 100, false); got != builtin {
+		t.Fatalf("nil did not restore the built-in constants: %v vs %v", got, builtin)
+	}
+	SetDefaultCostModel(fixed) // leave as found for the deferred restore
+}
+
+// TestVirtualTimeDriftReport closes the calibration loop: it fits a
+// cost profile on this machine (internal/calib, the same measurement
+// `flexflow -calibrate` runs), drives a single-worker micro-search with
+// the fitted profile as its CostModel, and compares the wall clock
+// against the virtual clock the budget machinery charged. The built-in
+// order-of-magnitude constants are logged alongside for comparison; the
+// *fitted* profile must price proposals within 10x of measured reality
+// — calibration just ran on this very machine, so a persistent larger
+// gap means the fit, not the machine, is wrong. Wall-clock measurement
+// on a shared CI box is still noisy (another test binary can saturate
+// the CPU during one window but not the other), so an out-of-bounds
+// attempt re-calibrates and re-measures before it counts as a failure.
 func TestVirtualTimeDriftReport(t *testing.T) {
 	if testing.Short() {
 		t.Skip("wall-clock micro-benchmark; skipped in -short")
 	}
-	g := tinyMLP()
+	const model, scale = "lenet", 16
+	spec, err := models.Get(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := spec.BuildScaled(scale)
 	topo := device.NewSingleNode(4, "P100")
-	est := perfmodel.NewAnalyticModel()
+	est := perfmodel.NewMeasuringEstimator(perfmodel.NewAnalyticModel().ExecTime, 1)
 	init := config.DataParallel(g, topo)
 	tg := taskgraph.Build(g, topo, init.Clone(), est, taskgraph.Options{})
 	numTasks := len(tg.Tasks)
 
-	for _, mode := range []struct {
+	modes := []struct {
 		name    string
 		fullSim bool
-	}{{"delta", false}, {"full", true}} {
-		opts := DefaultOptions()
-		opts.MaxIters = 300
-		opts.Workers = 1
-		opts.FullSim = mode.fullSim
-		perProposal := proposalCost(numTasks, mode.fullSim)
+		iters   int
+	}{{"delta", false, 1500}, {"full", true, 300}}
 
-		start := time.Now()
-		res := MCMC(context.Background(), g, topo, est, []*config.Strategy{init.Clone()}, opts)
-		wall := time.Since(start)
-		if res.Iters == 0 {
-			t.Fatalf("%s: no proposals executed", mode.name)
+	// attempt calibrates and measures once, reporting each mode's
+	// wall-vs-fitted-virtual drift ratio.
+	attempt := func() map[string]float64 {
+		prof, err := calib.Calibrate(context.Background(), calib.Options{
+			Models:         []string{model},
+			Scale:          scale,
+			Batches:        2,
+			DeltaProposals: 200,
+			FullProposals:  25,
+		})
+		if err != nil {
+			t.Fatal(err)
 		}
-		virtual := time.Duration(res.Iters) * perProposal
-		measured := wall / time.Duration(res.Iters)
-		t.Logf("%s-sim virtual clock drift: wall %v vs virtual %v over %d proposals "+
-			"(measured %v/proposal, charged %v/proposal, drift %.2fx on %d tasks)",
-			mode.name, wall.Round(time.Microsecond), virtual, res.Iters,
-			measured.Round(time.Nanosecond), perProposal, float64(wall)/float64(virtual), numTasks)
+		drifts := map[string]float64{}
+		for _, mode := range modes {
+			opts := DefaultOptions()
+			opts.MaxIters = mode.iters
+			opts.Workers = 1
+			opts.FullSim = mode.fullSim
+			opts.Cost = prof
+			charged := prof.ProposalCost(model, numTasks, mode.fullSim)
+			builtin := DefaultCostModel().ProposalCost(model, numTasks, mode.fullSim)
+
+			start := time.Now()
+			res := MCMC(context.Background(), g, topo, est, []*config.Strategy{init.Clone()}, opts)
+			wall := time.Since(start)
+			if res.Iters == 0 {
+				t.Fatalf("%s: no proposals executed", mode.name)
+			}
+			virtual := time.Duration(res.Iters) * charged
+			measured := wall / time.Duration(res.Iters)
+			drift := float64(wall) / float64(virtual)
+			drifts[mode.name] = drift
+			t.Logf("%s-sim drift: wall %v vs virtual %v over %d proposals "+
+				"(measured %v/proposal; fitted charges %v, drift %.2fx; builtin would charge %v, drift %.2fx; %d tasks)",
+				mode.name, wall.Round(time.Microsecond), virtual, res.Iters,
+				measured.Round(time.Nanosecond), charged, drift,
+				builtin, float64(measured)/float64(builtin), numTasks)
+		}
+		return drifts
+	}
+
+	inBounds := func(d float64) bool { return d >= 0.1 && d <= 10 }
+	const maxAttempts = 3
+	for try := 1; try <= maxAttempts; try++ {
+		drifts := attempt()
+		ok := true
+		for _, d := range drifts {
+			if !inBounds(d) {
+				ok = false
+			}
+		}
+		if ok {
+			return
+		}
+		if try < maxAttempts {
+			t.Logf("drift out of bounds (%v) on attempt %d — transient load? re-calibrating", drifts, try)
+			continue
+		}
+		for name, d := range drifts {
+			if !inBounds(d) {
+				t.Errorf("%s-sim: fitted profile persistently drifts %.2fx from wall clock across %d calibrate+measure attempts (want within 10x of unity)",
+					name, d, maxAttempts)
+			}
+		}
 	}
 }

@@ -119,7 +119,8 @@ type Options struct {
 	SkipParamSync bool
 	// StarSync replaces the ring all-reduce with a star (all replicas
 	// send to the primary, which broadcasts back) — the
-	// parameter-server-style ablation described in DESIGN.md.
+	// parameter-server-style ablation (the "ablation-sync" experiment,
+	// docs/EXPERIMENTS.md).
 	StarSync bool
 }
 

@@ -1,0 +1,56 @@
+package flexflow
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches one inline markdown link or image: [text](target).
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// TestDocRelativeLinks is the docs link-check gate CI runs: every
+// relative link in README.md and docs/*.md must resolve to a file or
+// directory in the repo, so the documentation never silently decays
+// into pointers at renamed or deleted targets (the stale-DESIGN.md
+// failure mode). External URLs and in-page anchors are out of scope.
+func TestDocRelativeLinks(t *testing.T) {
+	files, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, "README.md")
+
+	checked := 0
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external
+			}
+			if strings.HasPrefix(target, "#") {
+				continue // in-page anchor
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			checked++
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken relative link %q (resolved %s): %v", file, m[1], resolved, err)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no relative links found — the checker is likely miswired")
+	}
+}

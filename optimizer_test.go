@@ -261,6 +261,63 @@ func ExampleSetWorkers() {
 	// pool bound: 2
 }
 
+// ExampleCalibrate fits a cost profile from real proposal timings —
+// the measurement `flexflow -calibrate` runs. The tiny batch sizes
+// here keep the example fast; defaults (or a larger spread of Models)
+// give a steadier fit. The fitted profile prices the virtual-time
+// Budget, so a persisted profile makes a virtual budget of N seconds
+// track wall-clock N seconds on the calibrated machine.
+func ExampleCalibrate() {
+	prof, err := Calibrate(context.Background(), CalibrateOptions{
+		Models:         []string{"lenet"},
+		Scale:          16,
+		Batches:        1,
+		DeltaProposals: 40,
+		FullProposals:  5,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("valid profile:", prof.Validate() == nil)
+	fmt.Println("has per-model override:", prof.Models["lenet"] != nil)
+	fmt.Println("full costs at least as much as delta:",
+		prof.ProposalCost("lenet", 500, true) >= prof.ProposalCost("lenet", 500, false))
+	// Output:
+	// valid profile: true
+	// has per-model override: true
+	// full costs at least as much as delta: true
+}
+
+// ExampleSetCostProfile installs a cost profile process-wide: every
+// budgeted search whose OptimizeOptions.Cost is nil prices proposals
+// through it from then on (in practice the profile comes from
+// Calibrate or LoadCostProfile). For a fixed profile, budgeted runs
+// stay bit-identical across invocations and pool sizes.
+func ExampleSetCostProfile() {
+	prof := DefaultCostProfile() // stand-in for a Calibrate/LoadCostProfile result
+	prev := SetCostProfile(prof)
+	defer SetCostProfile(prev)
+
+	p := exampleProblem()
+	opt, err := GetOptimizer("mcmc")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := opt.Optimize(context.Background(), p, OptimizeOptions{
+		Budget: 2 * time.Millisecond, // virtual time, priced by the profile
+		Seed:   1,
+	})
+	fmt.Println("err:", err)
+	fmt.Println("installed:", ActiveCostProfile() == prof)
+	fmt.Println("budgeted run found a strategy:", res.Best != nil && res.Iters > 0)
+	// Output:
+	// err: <nil>
+	// installed: true
+	// budgeted run found a strategy: true
+}
+
 // TestSearchShimStillWorks pins the deprecated path: flexflow.Search and
 // SearchOptions.Cancel keep functioning as a shim over the "mcmc"
 // optimizer.
