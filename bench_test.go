@@ -305,7 +305,11 @@ func BenchmarkFullSimulation(b *testing.B) {
 }
 
 // BenchmarkDeltaSimulation measures Algorithm 2: one config change,
-// incremental re-simulation, and the revert.
+// incremental re-simulation, and the revert. The proposal sequence
+// (random op, random candidate, the original config to revert to) is
+// generated before the timer starts, so ns/op and allocs/op measure
+// ReplaceConfig+ApplyDelta only — not the RNG or config cloning of the
+// harness.
 func BenchmarkDeltaSimulation(b *testing.B) {
 	for _, model := range []string{"inception-v3", "nmt"} {
 		b.Run(model, func(b *testing.B) {
@@ -316,16 +320,68 @@ func BenchmarkDeltaSimulation(b *testing.B) {
 			st.Simulate()
 			rng := rand.New(rand.NewSource(1))
 			ops := g.ComputeOps()
+			type proposal struct {
+				opID     int
+				cfg, old *config.Config
+			}
+			// Every iteration reverts, so each proposal's "old" config is
+			// the op's original one regardless of cycling order.
+			props := make([]proposal, 256)
+			for i := range props {
+				op := ops[rng.Intn(len(ops))]
+				props[i] = proposal{
+					opID: op.ID,
+					cfg:  config.RandomConfig(op, topo, rng),
+					old:  tg.Strat.Config(op.ID).Clone(),
+				}
+			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				op := ops[rng.Intn(len(ops))]
-				old := tg.Strat.Config(op.ID).Clone()
-				cs := tg.ReplaceConfig(op.ID, config.RandomConfig(op, topo, rng))
-				st.ApplyDelta(cs)
-				cs = tg.ReplaceConfig(op.ID, old)
-				st.ApplyDelta(cs)
+				p := props[i%len(props)]
+				st.ApplyDelta(tg.ReplaceConfig(p.opID, p.cfg))
+				st.ApplyDelta(tg.ReplaceConfig(p.opID, p.old))
 			}
 		})
+	}
+}
+
+// BenchmarkProposalThroughput is the tracked search-throughput artifact
+// (see docs/EXPERIMENTS.md's BENCH_*.json trajectory): it prices a
+// pre-generated, op-grouped proposal batch through search.EvaluateBatch
+// against one shared plan and base timeline — the delta-simulator hot
+// path as the MCMC/Neighborhood inner loops drive it — and reports
+// proposals/sec/core as a custom metric. The batch runs on one
+// goroutine, so proposals per wall-second here are proposals per
+// core-second.
+func BenchmarkProposalThroughput(b *testing.B) {
+	g := benchGraph(b, "nmt", 8)
+	topo := device.NewSingleNode(4, "P100")
+	est := newEstimator()
+	plan := taskgraph.Compile(g, topo, config.DataParallel(g, topo), est, taskgraph.Options{})
+	base := sim.NewState(plan.Base())
+	base.Simulate()
+
+	rng := rand.New(rand.NewSource(1))
+	ops := g.ComputeOps()
+	const batch = 64
+	props := make([]search.Proposal, 0, batch)
+	for len(props) < batch {
+		// Four candidates per op (grouped, so same-op proposals chain
+		// without reverts), skipping candidates equal to the original.
+		op := ops[(len(props)/4)%len(ops)]
+		cand := config.RandomConfig(op, topo, rng)
+		if cand.Equal(plan.Base().Strat.Config(op.ID)) {
+			continue
+		}
+		props = append(props, search.Proposal{OpID: op.ID, Cfg: cand})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		search.EvaluateBatch(plan, base, props)
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N*batch)/secs, "proposals/sec/core")
 	}
 }
 

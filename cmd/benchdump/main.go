@@ -1,0 +1,124 @@
+// Command benchdump converts `go test -bench` output into a BENCH_*.json
+// trajectory file (schema: internal/benchjson, documented in
+// docs/EXPERIMENTS.md), or validates an existing one.
+//
+// Typical regeneration of the per-PR artifact:
+//
+//	go test -run '^$' -bench 'DeltaSimulation|ProposalThroughput' -benchmem . > /tmp/bench.txt
+//	go run ./cmd/benchdump -pr pr7 -baseline BENCH_pr6.json -o BENCH_pr7.json /tmp/bench.txt
+//
+// With -baseline pointing at the previous PR's file, its benchmark
+// results are carried over as this file's baseline, chaining the
+// trajectory. CI validation:
+//
+//	go run ./cmd/benchdump -validate BENCH_pr6.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"flexflow/internal/benchjson"
+)
+
+func main() {
+	var (
+		out      = flag.String("o", "", "output file (default stdout)")
+		pr       = flag.String("pr", "", "PR label recorded in the file (required unless -validate)")
+		baseline = flag.String("baseline", "", "baseline source: a previous BENCH_*.json (its benchmarks carry over) or raw `go test -bench` output")
+		note     = flag.String("note", "", "free-form note recorded in the file")
+		validate = flag.String("validate", "", "validate an existing BENCH_*.json and exit")
+	)
+	flag.Parse()
+	if err := run(*out, *pr, *baseline, *note, *validate, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdump:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, pr, baseline, note, validate string, args []string) error {
+	if validate != "" {
+		f, err := benchjson.Load(validate)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: ok (pr %s, %d benchmarks, %d baseline entries)\n",
+			validate, f.PR, len(f.Benchmarks), len(f.Baseline))
+		return nil
+	}
+	if pr == "" {
+		return fmt.Errorf("-pr is required")
+	}
+	var in io.Reader = os.Stdin
+	if len(args) == 1 {
+		fh, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer fh.Close()
+		in = fh
+	} else if len(args) > 1 {
+		return fmt.Errorf("at most one input file, got %d", len(args))
+	}
+	benchmarks, goos, goarch, cpu, err := benchjson.Parse(in)
+	if err != nil {
+		return err
+	}
+	f := &benchjson.File{
+		Schema:     benchjson.SchemaVersion,
+		PR:         pr,
+		GoOS:       goos,
+		GoArch:     goarch,
+		CPU:        cpu,
+		Note:       note,
+		Benchmarks: benchmarks,
+	}
+	if baseline != "" {
+		f.Baseline, err = loadBaseline(baseline)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+	}
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "" {
+		fh, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer fh.Close()
+		w = fh
+	}
+	return f.Write(w)
+}
+
+// loadBaseline reads the baseline benchmarks from a previous validated
+// BENCH_*.json (chaining the trajectory) or from raw bench output (the
+// pre-change run of the benchmarks a PR claims to move).
+func loadBaseline(path string) (map[string]benchjson.Entry, error) {
+	if strings.HasSuffix(path, ".json") {
+		prev, err := benchjson.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return prev.Benchmarks, nil
+	}
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	benchmarks, _, _, _, err := benchjson.Parse(fh)
+	if err != nil {
+		return nil, err
+	}
+	if len(benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	return benchmarks, nil
+}

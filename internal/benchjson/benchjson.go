@@ -1,0 +1,186 @@
+// Package benchjson turns `go test -bench` output into the repo's
+// BENCH_*.json trajectory files: one JSON artifact per PR recording the
+// benchmark results of that change (and optionally the pre-change
+// baseline), so performance wins and regressions stay visible across
+// the PR sequence instead of living in commit messages. The schema and
+// the regeneration workflow are documented in docs/EXPERIMENTS.md; the
+// committed files are schema-checked by lint_bench_test.go and CI's
+// bench-smoke step emits one per run.
+package benchjson
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// SchemaVersion is the current BENCH_*.json schema version.
+const SchemaVersion = 1
+
+// ThroughputMetric is the custom metric name every trajectory file must
+// carry (reported by BenchmarkProposalThroughput): the proposals priced
+// per core-second, the paper's Table 4 claim as a single number.
+const ThroughputMetric = "proposals/sec/core"
+
+// Entry is one benchmark's results.
+type Entry struct {
+	// Iterations is b.N for the recorded run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the reported ns/op.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp is the reported B/op (0 when -benchmem was off).
+	BytesPerOp float64 `json:"bytes_per_op,omitempty"`
+	// AllocsPerOp is the reported allocs/op (0 when -benchmem was off).
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom metrics (b.ReportMetric) by unit name.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is one BENCH_*.json trajectory artifact.
+type File struct {
+	// Schema is the file format version (SchemaVersion).
+	Schema int `json:"schema"`
+	// PR labels the change the file belongs to (e.g. "pr6").
+	PR string `json:"pr"`
+	// GoOS/GoArch/CPU echo the `go test -bench` header lines, so a
+	// trajectory comparison knows when hardware changed under it.
+	GoOS   string `json:"goos,omitempty"`
+	GoArch string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Note is free-form context (what changed, why these benchmarks).
+	Note string `json:"note,omitempty"`
+	// Baseline records the pre-change results of the benchmarks the PR
+	// claims to move, keyed like Benchmarks.
+	Baseline map[string]Entry `json:"baseline,omitempty"`
+	// Benchmarks records the post-change results, keyed by benchmark
+	// name with the -GOMAXPROCS suffix stripped.
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// stripProcs removes the trailing -GOMAXPROCS suffix go test appends to
+// benchmark names ("BenchmarkX/nmt-4" -> "BenchmarkX/nmt"). A trailing
+// -N is only stripped when N is all digits, so model names containing
+// dashes ("inception-v3") survive.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 || i == len(name)-1 {
+		return name
+	}
+	for _, r := range name[i+1:] {
+		if r < '0' || r > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
+// Parse reads `go test -bench` output and returns the benchmark results
+// plus the goos/goarch/cpu header values. Non-benchmark lines (PASS,
+// ok, test logs) are ignored; a benchmark appearing twice keeps the
+// last run.
+func Parse(r io.Reader) (benchmarks map[string]Entry, goos, goarch, cpu string, err error) {
+	benchmarks = map[string]Entry{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			cpu = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, perr := strconv.ParseInt(fields[1], 10, 64)
+		if perr != nil {
+			continue
+		}
+		e := Entry{Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, perr := strconv.ParseFloat(fields[i], 64)
+			if perr != nil {
+				return nil, "", "", "", fmt.Errorf("benchjson: bad value %q in line %q", fields[i], line)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				e.NsPerOp = v
+			case "B/op":
+				e.BytesPerOp = v
+			case "allocs/op":
+				e.AllocsPerOp = v
+			default:
+				if e.Metrics == nil {
+					e.Metrics = map[string]float64{}
+				}
+				e.Metrics[unit] = v
+			}
+		}
+		benchmarks[stripProcs(fields[0])] = e
+	}
+	return benchmarks, goos, goarch, cpu, sc.Err()
+}
+
+// Validate checks the trajectory-file invariants the lint test and CI
+// enforce: current schema, a PR label, at least one benchmark, and a
+// recorded proposals/sec/core throughput metric.
+func (f *File) Validate() error {
+	if f.Schema != SchemaVersion {
+		return fmt.Errorf("benchjson: schema %d, want %d", f.Schema, SchemaVersion)
+	}
+	if f.PR == "" {
+		return fmt.Errorf("benchjson: missing pr label")
+	}
+	if len(f.Benchmarks) == 0 {
+		return fmt.Errorf("benchjson: no benchmarks recorded")
+	}
+	for name, e := range f.Benchmarks {
+		if e.NsPerOp <= 0 {
+			return fmt.Errorf("benchjson: %s: ns_per_op %v", name, e.NsPerOp)
+		}
+	}
+	for _, e := range f.Benchmarks {
+		if e.Metrics[ThroughputMetric] > 0 {
+			return nil
+		}
+	}
+	return fmt.Errorf("benchjson: no benchmark reports the %s metric", ThroughputMetric)
+}
+
+// Load reads and validates a BENCH_*.json file.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// Write marshals the file as stable, human-diffable JSON.
+func (f *File) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}

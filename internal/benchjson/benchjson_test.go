@@ -1,0 +1,99 @@
+package benchjson
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: flexflow
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkDeltaSimulation/inception-v3-4         	    1178	   1109916 ns/op	  142020 B/op	    7275 allocs/op
+BenchmarkDeltaSimulation/nmt-4                  	    3450	    342427 ns/op	   64908 B/op	    2732 allocs/op
+BenchmarkProposalThroughput-4                   	      78	  16259758 ns/op	      3936 proposals/sec/core	 3447778 B/op	  119136 allocs/op
+PASS
+ok  	flexflow	4.921s
+`
+
+func TestParse(t *testing.T) {
+	benchmarks, goos, goarch, cpu, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if goos != "linux" || goarch != "amd64" || !strings.Contains(cpu, "Xeon") {
+		t.Fatalf("header = %q %q %q", goos, goarch, cpu)
+	}
+	if len(benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks: %v", len(benchmarks), benchmarks)
+	}
+	// The -GOMAXPROCS suffix is stripped; dashes in model names are not.
+	nmt, ok := benchmarks["BenchmarkDeltaSimulation/nmt"]
+	if !ok {
+		t.Fatalf("missing nmt entry: %v", benchmarks)
+	}
+	if nmt.Iterations != 3450 || nmt.NsPerOp != 342427 || nmt.BytesPerOp != 64908 || nmt.AllocsPerOp != 2732 {
+		t.Fatalf("nmt entry = %+v", nmt)
+	}
+	if _, ok := benchmarks["BenchmarkDeltaSimulation/inception-v3"]; !ok {
+		t.Fatalf("inception-v3 name mangled: %v", benchmarks)
+	}
+	tp := benchmarks["BenchmarkProposalThroughput"]
+	if tp.Metrics[ThroughputMetric] != 3936 {
+		t.Fatalf("throughput entry = %+v", tp)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := &File{
+		Schema: SchemaVersion,
+		PR:     "pr6",
+		Benchmarks: map[string]Entry{
+			"BenchmarkProposalThroughput": {
+				Iterations: 1, NsPerOp: 10,
+				Metrics: map[string]float64{ThroughputMetric: 100},
+			},
+		},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid file rejected: %v", err)
+	}
+	for name, mutate := range map[string]func(*File){
+		"bad schema":    func(f *File) { f.Schema = 2 },
+		"no pr":         func(f *File) { f.PR = "" },
+		"no benchmarks": func(f *File) { f.Benchmarks = nil },
+		"no throughput": func(f *File) {
+			f.Benchmarks = map[string]Entry{"BenchmarkX": {Iterations: 1, NsPerOp: 10}}
+		},
+		"zero ns/op": func(f *File) {
+			f.Benchmarks["BenchmarkProposalThroughput"] = Entry{Iterations: 1}
+		},
+	} {
+		f := &File{
+			Schema: good.Schema,
+			PR:     good.PR,
+			Benchmarks: map[string]Entry{
+				"BenchmarkProposalThroughput": good.Benchmarks["BenchmarkProposalThroughput"],
+			},
+		}
+		mutate(f)
+		if err := f.Validate(); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkX-4":                          "BenchmarkX",
+		"BenchmarkX-16":                         "BenchmarkX",
+		"BenchmarkX":                            "BenchmarkX",
+		"BenchmarkDeltaSimulation/inception-v3": "BenchmarkDeltaSimulation/inception-v3",
+		"BenchmarkX/sub-case":                   "BenchmarkX/sub-case",
+	}
+	for in, want := range cases {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -340,27 +340,20 @@ func Neighborhood(g *graph.Graph, topo *device.Topology, est perfmodel.Estimator
 		op := ops[i]
 		orig := plan.Base().Strat.Config(op.ID) // read-only: shared strat is never written
 		r := opBest{cost: baseCost}
-		var inst *taskgraph.TaskGraph
-		var st *sim.State
+		var props []Proposal
 		for _, cand := range config.Enumerate(op, topo, enum) {
-			if cand.Equal(orig) {
-				continue
+			if !cand.Equal(orig) {
+				props = append(props, Proposal{OpID: op.ID, Cfg: cand})
 			}
-			if inst == nil {
-				// One instance + state clone per op, allocated lazily so
-				// ops whose every candidate equals the original stay free.
-				inst = plan.Instance()
-				st = base.CloneFor(inst)
-			}
-			// Each candidate replaces the previous one directly — the
-			// delta cost equals a full simulation of the resulting graph
-			// either way, so no revert-to-original is needed in between.
-			cs := inst.ReplaceConfig(op.ID, cand)
-			cost := st.ApplyDelta(cs)
+		}
+		// All of an op's candidates go through one batch: one instance +
+		// state clone per op (none at all when every candidate equals the
+		// original), and the same-op proposals chain without reverts.
+		for j, cost := range EvaluateBatch(plan, base, props) {
 			r.checked++
 			if cost < r.cost {
 				r.cost = cost
-				r.cand = cand
+				r.cand = props[j].Cfg
 			}
 		}
 		results[i] = r

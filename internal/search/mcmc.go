@@ -377,7 +377,10 @@ func runChain(ctx context.Context, g *graph.Graph, topo *device.Topology, est pe
 		}
 
 		op := ops[rng.Intn(len(ops))]
-		oldCfg := cur.Config(op.ID).Clone()
+		// Configs are immutable once built (Strategy.Set swaps pointers,
+		// never writes in place), so the revert path can keep the old
+		// pointer instead of a defensive per-proposal clone.
+		oldCfg := cur.Config(op.ID)
 		newCfg := config.RandomConfigRestricted(op, topo, rng, allowed)
 		if newCfg.Equal(oldCfg) {
 			continue

@@ -19,6 +19,15 @@
 // engine maintains as a fixpoint. The differential tests in this package
 // assert full/delta equality over randomized mutation sequences.
 //
+// # Representation
+//
+// The hot loops never chase Task pointers: they sweep the graph's
+// slot-indexed flat adjacency view (taskgraph.Adj) — int32 slot rows
+// packed into one CSR-style backing array — and identify tasks by
+// (slot, id) pairs. A slot whose current ID differs from a reference's
+// recorded id belongs to a removed task (the slot may already be
+// recycled by a new one), which makes liveness a single array compare.
+//
 // # Ownership
 //
 // The task graph is structure, the State is state: Simulate and
@@ -69,6 +78,14 @@ type tstate struct {
 	queued bool
 }
 
+// ref identifies a task as it was when scheduled: its slot plus the ID
+// the slot held. Slots of removed tasks are recycled, so a ref whose id
+// no longer matches Adj.ID[slot] is dead — an O(1) liveness test with
+// no pointer chase.
+type ref struct {
+	slot, id int32
+}
+
 // State is a simulation state: per-resource execution timelines plus
 // the per-task timing arrays, all owned by the state (the task graph is
 // never written).
@@ -76,14 +93,23 @@ type State struct {
 	TG *taskgraph.TaskGraph
 
 	numDevices int
-	res        [][]*taskgraph.Task // resource ID -> execution order
+	res        [][]ref // resource ID -> execution order
 	Makespan   time.Duration
 
 	// Stats counts engine work for the Table 4 style comparisons.
 	Stats Stats
 
-	pq workHeap
-	ts []tstate // indexed by Task.Slot
+	// FixpointBudget, when positive, caps the number of evaluations
+	// ApplyDelta's incremental fixpoint may perform before falling back
+	// to a full simulation. Zero means the automatic budget. It is a
+	// test hook for exercising the fallback path; it never applies to
+	// Simulate itself (the fallback must always be allowed to finish).
+	FixpointBudget int
+
+	adj     *taskgraph.Adj
+	pq      workHeap
+	ts      []tstate // indexed by Task.Slot
+	scratch []int32  // reused affected-slot buffer for ApplyDelta
 }
 
 // Stats counts simulator work.
@@ -103,7 +129,8 @@ func NewState(tg *taskgraph.TaskGraph) *State {
 	return &State{
 		TG:         tg,
 		numDevices: tg.Topo.NumDevices(),
-		res:        make([][]*taskgraph.Task, tg.Topo.NumDevices()+len(tg.Topo.Links)),
+		res:        make([][]ref, tg.Topo.NumDevices()+len(tg.Topo.Links)),
+		adj:        tg.Adj(),
 		ts:         make([]tstate, tg.NumSlots()),
 	}
 }
@@ -115,37 +142,40 @@ func NewState(tg *taskgraph.TaskGraph) *State {
 // all copied, so the clone continues with ApplyDelta immediately, no
 // re-Simulate needed. This is the cheap per-chain/per-worker setup path
 // of the concurrent search runtime.
+//
+// Because timelines reference tasks by (slot, id) rather than by
+// pointer, rebinding is pure array copying; the target graph is
+// validated against the state's in O(slots).
 func (s *State) CloneFor(tg *taskgraph.TaskGraph) *State {
 	out := &State{
 		TG:         tg,
 		numDevices: s.numDevices,
-		res:        make([][]*taskgraph.Task, len(s.res)),
+		res:        make([][]ref, len(s.res)),
 		Makespan:   s.Makespan,
 		Stats:      s.Stats,
+		adj:        tg.Adj(),
 		ts:         append([]tstate(nil), s.ts...),
 	}
-	if tg == s.TG {
-		for r, order := range s.res {
-			out.res[r] = append([]*taskgraph.Task(nil), order...)
+	if tg != s.TG {
+		a, b := s.TG.Adj().ID, tg.Adj().ID
+		if len(a) != len(b) {
+			panic("sim: CloneFor target graph does not match the state's tasks")
 		}
-		return out
-	}
-	bySlot := make([]*taskgraph.Task, tg.NumSlots())
-	for _, t := range tg.Tasks {
-		if !t.Dead {
-			bySlot[t.Slot] = t
-		}
-	}
-	for r, order := range s.res {
-		no := make([]*taskgraph.Task, len(order))
-		for i, t := range order {
-			nt := bySlot[t.Slot]
-			if nt == nil || nt.ID != t.ID {
+		for i := range a {
+			if a[i] != b[i] {
 				panic("sim: CloneFor target graph does not match the state's tasks")
 			}
-			no[i] = nt
 		}
-		out.res[r] = no
+	}
+	total := 0
+	for _, order := range s.res {
+		total += len(order)
+	}
+	backing := make([]ref, 0, total)
+	for r, order := range s.res {
+		lo := len(backing)
+		backing = append(backing, order...)
+		out.res[r] = backing[lo:len(backing):len(backing)]
 	}
 	return out
 }
@@ -161,19 +191,19 @@ func (s *State) Times(t *taskgraph.Task) (ready, start, end time.Duration) {
 	return st.ready, st.start, st.end
 }
 
-// ensure grows the per-slot state array to cover every slot the graph
-// has allocated (ReplaceConfig can mint new slots when an op's task
-// count grows past the previous peak).
+// ensure rebinds the flat adjacency view and grows the per-slot state
+// array to cover every slot the graph has allocated (ReplaceConfig can
+// mint new slots when an op's task count grows past the previous peak).
 func (s *State) ensure() {
+	s.adj = s.TG.Adj()
 	if n := s.TG.NumSlots(); n > len(s.ts) {
 		s.ts = append(s.ts, make([]tstate, n-len(s.ts))...)
 	}
 }
 
 type workItem struct {
-	ready time.Duration
-	id    int
-	t     *taskgraph.Task
+	ready    time.Duration
+	id, slot int32
 }
 
 type workHeap []workItem
@@ -195,14 +225,14 @@ func (h *workHeap) Pop() interface{} {
 	return it
 }
 
-func (s *State) push(t *taskgraph.Task) {
-	st := &s.ts[t.Slot]
+func (s *State) push(slot int32) {
+	st := &s.ts[slot]
 	if st.queued && st.key == st.ready {
 		return // identical entry already queued
 	}
 	st.queued = true
 	st.key = st.ready
-	heap.Push(&s.pq, workItem{ready: st.ready, id: t.ID, t: t})
+	heap.Push(&s.pq, workItem{ready: st.ready, id: s.adj.ID[slot], slot: slot})
 }
 
 // Simulate runs the full simulation algorithm: it clears all timing
@@ -218,31 +248,19 @@ func (s *State) Simulate() time.Duration {
 		s.res[i] = s.res[i][:0]
 	}
 	s.pq = s.pq[:0]
-	for _, t := range s.TG.Tasks {
-		if t.Dead {
-			// Never touch a dead task's slot: it may already belong to
-			// a live task elsewhere in the list.
+	a := s.adj
+	for slot := range a.ID {
+		if a.ID[slot] < 0 {
+			// Free slot (it may still be referenced by stale timeline
+			// entries; those are skipped by the id check on pop).
 			continue
 		}
-		st := &s.ts[t.Slot]
-		st.ready, st.start, st.end = 0, 0, 0
-		st.key = 0
-		st.pos = -1
-		st.done = false
-		st.queued = false
-		n := 0
-		for _, p := range t.In {
-			if !p.Dead {
-				n++
-			}
-		}
-		st.pending = int32(n)
-		if n == 0 {
-			s.push(t)
+		s.ts[slot] = tstate{pos: -1, pending: int32(len(a.In[slot]))}
+		if len(a.In[slot]) == 0 {
+			s.push(int32(slot))
 		}
 	}
-	budget := s.budget()
-	if !s.run(budget) {
+	if !s.run(s.budget()) {
 		panic("sim: full simulation exceeded its fixpoint budget")
 	}
 	s.finish()
@@ -263,13 +281,22 @@ func (s *State) Simulate() time.Duration {
 // it does not), it falls back to a full simulation, so the result is
 // always exact.
 //
+// Truncation resets a task's scheduling state but keeps its previous
+// ready/start/end values: when the re-evaluation converges to the same
+// end time, the early-cutoff rule skips re-pushing already-scheduled
+// successors, stopping the propagation wavefront at the first ring of
+// unchanged tasks.
+//
 // Slot recycling note: an added task may occupy a removed task's slot.
 // The loops below therefore read every removed task's state (the T0
-// bound) before the added-task reset writes anything.
+// bound) before the added-task reset writes anything, and detect dead
+// timeline entries by their recorded id (a dead entry's slot may hold
+// a different live task, or no task at all).
 func (s *State) ApplyDelta(cs taskgraph.ChangeSet) time.Duration {
 	s.Stats.DeltaSims++
 	s.ensure()
 	s.pq = s.pq[:0]
+	a := s.adj
 	const inf = time.Duration(1<<63 - 1)
 	t0 := inf
 
@@ -287,14 +314,14 @@ func (s *State) ApplyDelta(cs taskgraph.ChangeSet) time.Duration {
 		// earliest time an added task can perturb the schedule; deeper
 		// added tasks are covered transitively.
 		head := true
-		for _, p := range t.In {
-			if !p.Dead && !s.ts[p.Slot].done {
+		for _, p := range a.In[t.Slot] {
+			if !s.ts[p].done {
 				head = false
 				break
 			}
 		}
 		if head {
-			if r := s.computeReady(t); r < t0 {
+			if r := s.computeReady(int32(t.Slot)); r < t0 {
 				t0 = r
 			}
 		}
@@ -303,7 +330,7 @@ func (s *State) ApplyDelta(cs taskgraph.ChangeSet) time.Duration {
 		if st := &s.ts[t.Slot]; st.start < t0 {
 			t0 = st.start
 		}
-		if r := s.computeReady(t); r < t0 {
+		if r := s.computeReady(int32(t.Slot)); r < t0 {
 			t0 = r
 		}
 	}
@@ -316,65 +343,73 @@ func (s *State) ApplyDelta(cs taskgraph.ChangeSet) time.Duration {
 	// Truncate every resource timeline at T0: pop the suffix of tasks
 	// that start at/after T0 or end after it (start and end are monotone
 	// along a FIFO timeline), resetting them for re-scheduling. Dead
-	// tasks always fall in the suffix because no removed task started
-	// before T0.
-	var affected []*taskgraph.Task
+	// entries always fall in the suffix because no removed task started
+	// before T0; their slots may already belong to new tasks, so their
+	// state is never touched here.
+	affected := s.scratch[:0]
 	for r := range s.res {
 		order := s.res[r]
 		cut := len(order)
 		for cut > 0 {
-			t := order[cut-1]
-			if t.Dead {
-				cut--
+			e := order[cut-1]
+			if a.ID[e.slot] != e.id {
+				cut-- // removed task (slot possibly recycled)
 				continue
 			}
-			st := &s.ts[t.Slot]
+			st := &s.ts[e.slot]
 			if st.end > t0 || st.start >= t0 {
 				cut--
 				continue
 			}
 			break
 		}
-		for _, t := range order[cut:] {
-			if t.Dead {
-				continue // slot may be recycled; leave it alone
+		for _, e := range order[cut:] {
+			if a.ID[e.slot] != e.id {
+				continue // removed; the slot's state is not ours to reset
 			}
-			st := &s.ts[t.Slot]
+			st := &s.ts[e.slot]
 			st.pos = -1
 			st.done = false
-			affected = append(affected, t)
+			affected = append(affected, e.slot)
 		}
 		s.res[r] = order[:cut]
 	}
-	affected = append(affected, cs.Added...)
+	for _, t := range cs.Added {
+		affected = append(affected, int32(t.Slot))
+	}
+	s.scratch = affected
 
 	// Pending counts over the affected set; seeds are tasks whose every
 	// live predecessor already has a final end time.
-	for _, t := range affected {
-		n := 0
-		for _, p := range t.In {
-			if !p.Dead && !s.ts[p.Slot].done {
+	for _, slot := range affected {
+		n := int32(0)
+		for _, p := range a.In[slot] {
+			if !s.ts[p].done {
 				n++
 			}
 		}
-		s.ts[t.Slot].pending = int32(n)
+		s.ts[slot].pending = n
 	}
-	for _, t := range affected {
-		st := &s.ts[t.Slot]
+	for _, slot := range affected {
+		st := &s.ts[slot]
 		if st.pending == 0 {
-			st.ready = s.computeReady(t)
-			s.push(t)
+			st.ready = s.computeReady(slot)
+			s.push(slot)
 		}
 	}
-	if !s.run(s.budget()) {
+	budget := s.budget()
+	if s.FixpointBudget > 0 {
+		budget = int64(s.FixpointBudget)
+	}
+	if !s.run(budget) {
 		s.Stats.Fallbacks++
 		return s.Simulate()
 	}
 	// Unaffected tasks all end by t0, so the makespan is determined by
 	// the re-scheduled suffix — no full scan needed.
 	makespan := t0
-	for _, t := range affected {
-		if e := s.ts[t.Slot].end; e > makespan {
+	for _, slot := range affected {
+		if e := s.ts[slot].end; e > makespan {
 			makespan = e
 		}
 	}
@@ -389,11 +424,12 @@ func (s *State) budget() int64 {
 
 // computeReady recomputes a task's ready time from its predecessors'
 // current end times (unscheduled predecessors contribute zero and will
-// re-trigger the task when they complete).
-func (s *State) computeReady(t *taskgraph.Task) time.Duration {
+// re-trigger the task when they complete). Adjacency rows hold live
+// tasks only, so no dead checks are needed.
+func (s *State) computeReady(slot int32) time.Duration {
 	var r time.Duration
-	for _, p := range t.In {
-		if e := s.ts[p.Slot].end; e > r {
+	for _, p := range s.adj.In[slot] {
+		if e := s.ts[p].end; e > r {
 			r = e
 		}
 	}
@@ -401,45 +437,48 @@ func (s *State) computeReady(t *taskgraph.Task) time.Duration {
 }
 
 // run drains the work queue until fixpoint, processing tasks in
-// (readyTime, taskID) order. Returns false if the budget is exhausted.
+// (readyTime, taskID) order. Returns false if the budget is exhausted;
+// partial work is still counted in Stats.Pops either way.
 func (s *State) run(budget int64) bool {
 	pops := int64(0)
 	for s.pq.Len() > 0 {
 		it := heap.Pop(&s.pq).(workItem)
-		t := it.t
-		if t.Dead {
-			continue
+		if s.adj.ID[it.slot] != it.id {
+			continue // task removed since it was queued
 		}
-		st := &s.ts[t.Slot]
+		st := &s.ts[it.slot]
 		if !st.queued || it.ready != st.key {
 			continue // stale queue entry (re-pushed or already handled)
 		}
 		st.queued = false
 		pops++
 		if pops > budget {
+			s.Stats.Pops += pops
 			return false
 		}
-		s.evaluate(t)
+		s.evaluate(it.slot)
 	}
 	s.Stats.Pops += pops
 	return true
 }
 
 // evaluate recomputes one task's schedule slot and propagates changes.
-func (s *State) evaluate(t *taskgraph.Task) {
-	st := &s.ts[t.Slot]
-	inList := st.pos >= 0
-	key := t.ScheduleKey(s.numDevices)
+func (s *State) evaluate(slot int32) {
+	st := &s.ts[slot]
+	a := s.adj
+	key := a.Key[slot]
+	self := ref{slot: slot, id: a.ID[slot]}
 	order := s.res[key]
 
+	inList := st.pos >= 0
 	moved := false
 	if inList {
 		// Reposition if the order key changed relative to neighbours.
 		pos := int(st.pos)
-		outOfPlace := (pos > 0 && !s.less(order[pos-1], t)) ||
-			(pos+1 < len(order) && !s.less(t, order[pos+1]))
+		outOfPlace := (pos > 0 && !s.less(order[pos-1], self)) ||
+			(pos+1 < len(order) && !s.less(self, order[pos+1]))
 		if outOfPlace {
-			if next := s.removeFromOrder(t); next != nil {
+			if next, ok := s.removeFromOrder(slot); ok {
 				s.push(next)
 			}
 			inList = false
@@ -447,19 +486,19 @@ func (s *State) evaluate(t *taskgraph.Task) {
 		}
 	}
 	if !inList {
-		s.insertOrdered(key, t)
+		s.insertOrdered(key, self)
 	}
 	order = s.res[key]
 
 	var prevEnd time.Duration
 	if st.pos > 0 {
-		prevEnd = s.ts[order[st.pos-1].Slot].end
+		prevEnd = s.ts[order[st.pos-1].slot].end
 	}
 	start := st.ready
 	if prevEnd > start {
 		start = prevEnd
 	}
-	end := start + t.Exe
+	end := start + a.Exe[slot]
 	first := !st.done
 	st.done = true
 	changed := end != st.end || moved
@@ -470,31 +509,37 @@ func (s *State) evaluate(t *taskgraph.Task) {
 
 	// The device successor's start depends on our end.
 	if int(st.pos)+1 < len(order) {
-		s.push(order[st.pos+1])
+		s.push(order[st.pos+1].slot)
 	}
 	if !changed && !first {
 		return
 	}
-	for _, succ := range t.Out {
-		ss := &s.ts[succ.Slot]
-		if first {
-			// Our first evaluation releases one of succ's pending
-			// inputs; succ enters the queue when the last one resolves
-			// (unless it was already evaluated, e.g. a surviving task
-			// downstream of a delta change).
-			if !ss.done {
+	for _, succ := range a.Out[slot] {
+		ss := &s.ts[succ]
+		if !ss.done {
+			if first {
+				// Our first evaluation releases one of succ's pending
+				// inputs; succ enters the queue when the last one
+				// resolves.
 				ss.pending--
-				if ss.pending > 0 {
-					continue
-				}
 			}
-		} else if !ss.done && ss.pending > 0 {
-			// Still waiting on other inputs; it will read our final end
-			// time when it is released.
+			if ss.pending > 0 {
+				// Still waiting on other inputs; it will read our final
+				// end time when it is released.
+				continue
+			}
+			ss.ready = s.computeReady(succ)
+			s.push(succ)
 			continue
 		}
-		r := s.computeReady(succ)
-		if r != ss.ready || !ss.done {
+		// succ was already evaluated (a surviving task downstream of a
+		// delta change). Early cutoff: if our end time converged back to
+		// the value succ last saw, its ready time cannot change on our
+		// account — whoever does change re-pushes it themselves.
+		if !changed {
+			continue
+		}
+		if r := s.computeReady(succ); r != ss.ready {
 			ss.ready = r
 			s.push(succ)
 		}
@@ -502,52 +547,53 @@ func (s *State) evaluate(t *taskgraph.Task) {
 }
 
 // less is the deterministic per-resource execution order: (ready, ID).
-func (s *State) less(a, b *taskgraph.Task) bool {
-	ra, rb := s.ts[a.Slot].ready, s.ts[b.Slot].ready
+func (s *State) less(a, b ref) bool {
+	ra, rb := s.ts[a.slot].ready, s.ts[b.slot].ready
 	if ra != rb {
 		return ra < rb
 	}
-	return a.ID < b.ID
+	return a.id < b.id
 }
 
-// removeFromOrder deletes t from its resource timeline and returns the
-// task that moved into its slot (its former successor), if any.
-func (s *State) removeFromOrder(t *taskgraph.Task) *taskgraph.Task {
-	key := t.ScheduleKey(s.numDevices)
+// removeFromOrder deletes the task from its resource timeline and
+// returns the slot of the task that moved into its place (its former
+// successor), if any.
+func (s *State) removeFromOrder(slot int32) (next int32, ok bool) {
+	key := s.adj.Key[slot]
 	order := s.res[key]
-	pos := int(s.ts[t.Slot].pos)
+	pos := int(s.ts[slot].pos)
 	copy(order[pos:], order[pos+1:])
 	order = order[:len(order)-1]
 	s.res[key] = order
 	for i := pos; i < len(order); i++ {
-		s.ts[order[i].Slot].pos = int32(i)
+		s.ts[order[i].slot].pos = int32(i)
 	}
-	s.ts[t.Slot].pos = -1
+	s.ts[slot].pos = -1
 	if pos < len(order) {
-		return order[pos]
+		return order[pos].slot, true
 	}
-	return nil
+	return 0, false
 }
 
-// insertOrdered inserts t into its resource timeline at its sorted
-// position by (Ready, ID).
-func (s *State) insertOrdered(key int, t *taskgraph.Task) {
+// insertOrdered inserts the task into its resource timeline at its
+// sorted position by (Ready, ID).
+func (s *State) insertOrdered(key int32, e ref) {
 	order := s.res[key]
 	lo, hi := 0, len(order)
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if s.less(order[mid], t) {
+		if s.less(order[mid], e) {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	order = append(order, nil)
+	order = append(order, ref{})
 	copy(order[lo+1:], order[lo:])
-	order[lo] = t
+	order[lo] = e
 	s.res[key] = order
 	for i := lo; i < len(order); i++ {
-		s.ts[order[i].Slot].pos = int32(i)
+		s.ts[order[i].slot].pos = int32(i)
 	}
 }
 
@@ -555,13 +601,14 @@ func (s *State) insertOrdered(key int, t *taskgraph.Task) {
 // scheduled.
 func (s *State) finish() {
 	var makespan time.Duration
-	for _, t := range s.TG.Tasks {
-		if t.Dead {
+	a := s.adj
+	for slot, id := range a.ID {
+		if id < 0 {
 			continue
 		}
-		st := &s.ts[t.Slot]
+		st := &s.ts[slot]
 		if st.pos < 0 {
-			panic(fmt.Sprintf("sim: task %v never scheduled (cyclic task graph?)", t))
+			panic(fmt.Sprintf("sim: task %v never scheduled (cyclic task graph?)", a.Task[slot]))
 		}
 		if st.end > makespan {
 			makespan = st.end
@@ -571,9 +618,19 @@ func (s *State) finish() {
 }
 
 // Timeline returns the execution order of the given resource (device ID,
-// or numDevices+linkID for links). The returned slice is owned by the
-// state; callers must not modify it.
-func (s *State) Timeline(resource int) []*taskgraph.Task { return s.res[resource] }
+// or numDevices+linkID for links) as live tasks, in schedule order. The
+// slice is freshly built on each call.
+func (s *State) Timeline(resource int) []*taskgraph.Task {
+	a := s.TG.Adj()
+	order := s.res[resource]
+	out := make([]*taskgraph.Task, 0, len(order))
+	for _, e := range order {
+		if a.ID[e.slot] == e.id {
+			out = append(out, a.Task[e.slot])
+		}
+	}
+	return out
+}
 
 // CriticalPathLowerBound returns the longest dependency-chain time
 // ignoring resource contention — a lower bound any correct schedule must

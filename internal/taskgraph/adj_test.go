@@ -1,0 +1,98 @@
+package taskgraph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"flexflow/internal/config"
+	"flexflow/internal/device"
+	"flexflow/internal/perfmodel"
+)
+
+// sortedRow converts an adjacency row to a sorted copy so it can be
+// compared as a multiset (rows are unordered).
+func sortedRow(row []int32) []int32 {
+	out := append([]int32(nil), row...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// checkAdjMirrors asserts that the flat adjacency view agrees with the
+// Task pointer lists: same live slots, same cached scalars, and the
+// same In/Out neighbour multisets per slot.
+func checkAdjMirrors(t *testing.T, tg *TaskGraph) {
+	t.Helper()
+	a := tg.Adj()
+	numDevices := tg.Topo.NumDevices()
+	live := map[int]*Task{}
+	for _, task := range tg.Tasks {
+		if !task.Dead {
+			live[task.Slot] = task
+		}
+	}
+	for slot, id := range a.ID {
+		task := live[slot]
+		if task == nil {
+			if id != -1 || a.Task[slot] != nil {
+				t.Fatalf("slot %d: free slot holds id %d task %v", slot, id, a.Task[slot])
+			}
+			continue
+		}
+		if int(id) != task.ID || a.Task[slot] != task {
+			t.Fatalf("slot %d: adj id %d task %v, want id %d task %v", slot, id, a.Task[slot], task.ID, task)
+		}
+		if a.Exe[slot] != task.Exe {
+			t.Fatalf("slot %d: adj exe %v != task exe %v", slot, a.Exe[slot], task.Exe)
+		}
+		if want := int32(task.ScheduleKey(numDevices)); a.Key[slot] != want {
+			t.Fatalf("slot %d: adj key %d != schedule key %d", slot, a.Key[slot], want)
+		}
+		wantIn := make([]int32, len(task.In))
+		for i, p := range task.In {
+			wantIn[i] = int32(p.Slot)
+		}
+		wantOut := make([]int32, len(task.Out))
+		for i, s := range task.Out {
+			wantOut[i] = int32(s.Slot)
+		}
+		gotIn, gotOut := sortedRow(a.In[slot]), sortedRow(a.Out[slot])
+		sort.Slice(wantIn, func(i, j int) bool { return wantIn[i] < wantIn[j] })
+		sort.Slice(wantOut, func(i, j int) bool { return wantOut[i] < wantOut[j] })
+		for i := range wantIn {
+			if len(gotIn) != len(wantIn) || gotIn[i] != wantIn[i] {
+				t.Fatalf("slot %d: adj In %v != task In slots %v", slot, gotIn, wantIn)
+			}
+		}
+		for i := range wantOut {
+			if len(gotOut) != len(wantOut) || gotOut[i] != wantOut[i] {
+				t.Fatalf("slot %d: adj Out %v != task Out slots %v", slot, gotOut, wantOut)
+			}
+		}
+		if len(gotIn) != len(wantIn) || len(gotOut) != len(wantOut) {
+			t.Fatalf("slot %d: row sizes In %d/%d Out %d/%d", slot, len(gotIn), len(wantIn), len(gotOut), len(wantOut))
+		}
+	}
+}
+
+// TestAdjMirrorsPointerGraph drives random ReplaceConfig sequences and
+// checks after every mutation that the incrementally maintained flat
+// adjacency never drifts from the Task pointer graph — the invariant
+// the simulator's CSR hot path depends on.
+func TestAdjMirrorsPointerGraph(t *testing.T) {
+	g := mlp()
+	topo := device.NewSingleNode(4, "P100")
+	tg := Build(g, topo, config.DataParallel(g, topo), perfmodel.NewAnalyticModel(), Options{})
+	checkAdjMirrors(t, tg)
+
+	rng := rand.New(rand.NewSource(11))
+	ops := g.ComputeOps()
+	for step := 0; step < 30; step++ {
+		op := ops[rng.Intn(len(ops))]
+		tg.ReplaceConfig(op.ID, config.RandomConfig(op, topo, rng))
+		checkAdjMirrors(t, tg)
+	}
+
+	// Cloning must preserve the view too (clone() repacks it).
+	checkAdjMirrors(t, tg.clone())
+}

@@ -75,16 +75,19 @@ func (tg *TaskGraph) ReplaceConfig(opID int, c *config.Config) ChangeSet {
 		for _, p := range t.In {
 			if doomed[p.ID] == nil {
 				p.Out = removeTask(p.Out, t)
+				tg.adj.Out[p.Slot] = removeSlot(tg.adj.Out[p.Slot], int32(t.Slot))
 			}
 		}
 		for _, s := range t.Out {
 			if doomed[s.ID] == nil {
 				s.In = removeTask(s.In, t)
+				tg.adj.In[s.Slot] = removeSlot(tg.adj.In[s.Slot], int32(t.Slot))
 				touched[s.ID] = s
 			}
 		}
 		t.Dead = true
 		t.In, t.Out = nil, nil
+		tg.adj.noteDead(t)
 		// Recycle the slot: tasks added below (or by later calls) reuse
 		// it. The attached simulator state may still read the dead
 		// task's slot entries until its next ApplyDelta — which is safe

@@ -1,6 +1,8 @@
 package taskgraph
 
 import (
+	"time"
+
 	"flexflow/internal/config"
 	"flexflow/internal/device"
 	"flexflow/internal/graph"
@@ -126,6 +128,40 @@ func (tg *TaskGraph) clone() *TaskGraph {
 	}
 	for k, ts := range tg.edgeComm {
 		out.edgeComm[k] = remapList(ts)
+	}
+	// The flat adjacency view copies verbatim — the clone preserves
+	// slots, so every row is identical; only the Task back-pointers
+	// remap into the new arena.
+	oa, na := &tg.adj, &out.adj
+	na.ID = append([]int32(nil), oa.ID...)
+	na.Exe = append([]time.Duration(nil), oa.Exe...)
+	na.Key = append([]int32(nil), oa.Key...)
+	na.Task = make([]*Task, len(oa.Task))
+	for i, t := range tg.Tasks {
+		if !t.Dead {
+			na.Task[t.Slot] = out.Tasks[i]
+		}
+	}
+	rows := 0
+	for _, row := range oa.In {
+		rows += len(row)
+	}
+	for _, row := range oa.Out {
+		rows += len(row)
+	}
+	// One backing array, rows capacity-pinned like reindex's.
+	flat := make([]int32, 0, rows)
+	na.In = make([][]int32, len(oa.In))
+	na.Out = make([][]int32, len(oa.Out))
+	for i, row := range oa.In {
+		lo := len(flat)
+		flat = append(flat, row...)
+		na.In[i] = flat[lo:len(flat):len(flat)]
+	}
+	for i, row := range oa.Out {
+		lo := len(flat)
+		flat = append(flat, row...)
+		na.Out[i] = flat[lo:len(flat):len(flat)]
 	}
 	return out
 }

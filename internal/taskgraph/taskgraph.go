@@ -13,6 +13,7 @@ package taskgraph
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -109,6 +110,86 @@ func (t *Task) ScheduleKey(numDevices int) int {
 	return t.Device
 }
 
+// Adj is the slot-indexed, CSR-style flat view of the live task
+// structure — the representation the simulator's hot loops traverse
+// instead of chasing Task pointers. Every array is indexed by
+// Task.Slot, and the adjacency rows hold predecessor/successor slots
+// as contiguous int32s, so recomputing a ready time or releasing
+// successors touches a handful of dense cache lines rather than one
+// scattered Task struct per edge.
+//
+// Invariants, maintained incrementally by the builder and
+// ReplaceConfig and packed contiguously by Build/Manual/clone:
+//
+//   - ID[slot] is the live task's ID at that slot, or -1 while the
+//     slot is free. Because IDs are unique forever and slots are
+//     recycled, comparing a remembered (slot, id) pair against
+//     ID[slot] is an O(1) is-this-task-still-alive test.
+//   - In[slot]/Out[slot] reference live slots only: removing a task
+//     scrubs it from every surviving neighbour's row before its slot
+//     is freed, so traversals never need a Dead check.
+//   - Exe[slot] and Key[slot] cache the task's execution time and
+//     schedule resource (device, or numDevices+link for Comm tasks).
+//   - Task[slot] maps back to the owning *Task for API boundaries
+//     (timelines, error messages); it is nil for free slots.
+//
+// The view is owned by its TaskGraph: read-only for everyone else,
+// safe for concurrent readers on a frozen Plan base, private to the
+// owning goroutine on a mutable Instance.
+type Adj struct {
+	// In and Out are the per-slot predecessor and successor slot rows.
+	In, Out [][]int32
+	// ID holds the live task ID per slot (-1 = free slot).
+	ID []int32
+	// Exe caches Task.Exe per slot.
+	Exe []time.Duration
+	// Key caches Task.ScheduleKey per slot.
+	Key []int32
+	// Task maps slots back to live tasks (nil = free slot).
+	Task []*Task
+}
+
+// noteNew registers a freshly created task, growing the arrays to
+// cover its slot and resetting any recycled rows.
+func (a *Adj) noteNew(t *Task, key int) {
+	for len(a.ID) <= t.Slot {
+		a.In = append(a.In, nil)
+		a.Out = append(a.Out, nil)
+		a.ID = append(a.ID, -1)
+		a.Exe = append(a.Exe, 0)
+		a.Key = append(a.Key, 0)
+		a.Task = append(a.Task, nil)
+	}
+	a.ID[t.Slot] = int32(t.ID)
+	a.Exe[t.Slot] = t.Exe
+	a.Key[t.Slot] = int32(key)
+	a.Task[t.Slot] = t
+	a.In[t.Slot] = a.In[t.Slot][:0]
+	a.Out[t.Slot] = a.Out[t.Slot][:0]
+}
+
+// noteDead frees a removed task's slot. The caller must already have
+// scrubbed the slot from every surviving neighbour's row.
+func (a *Adj) noteDead(t *Task) {
+	a.ID[t.Slot] = -1
+	a.Task[t.Slot] = nil
+	a.In[t.Slot] = a.In[t.Slot][:0]
+	a.Out[t.Slot] = a.Out[t.Slot][:0]
+}
+
+// removeSlot deletes one occurrence of slot from a row. Rows are
+// unordered multisets (ready times are max/count reductions), so the
+// removal swaps with the tail instead of shifting.
+func removeSlot(row []int32, slot int32) []int32 {
+	for i, s := range row {
+		if s == slot {
+			row[i] = row[len(row)-1]
+			return row[:len(row)-1]
+		}
+	}
+	return row
+}
+
 // Options control task-graph construction.
 type Options struct {
 	// SkipBackward limits the graph to the forward pass (used by the
@@ -155,8 +236,21 @@ type TaskGraph struct {
 	// Cross-op communication tasks, keyed by (producer, consumer) op IDs.
 	edgeComm map[[2]int][]*Task
 
+	// adj is the slot-indexed flat structure view the simulator hot
+	// path reads (see Adj). It mirrors the Task.In/Out pointer lists
+	// exactly and is maintained through every ReplaceConfig.
+	adj Adj
+
 	numDead int
 }
+
+// Adj returns the slot-indexed flat view of the live task structure.
+// The view is read-only for callers and shares the graph's ownership
+// rules: safe for concurrent readers on a frozen Plan base, single-
+// goroutine on a mutable Instance. The inner slices are reallocated
+// by structural mutation, so callers must re-read them through the
+// returned pointer after any ReplaceConfig.
+func (tg *TaskGraph) Adj() *Adj { return &tg.adj }
 
 // Build constructs the task graph for a strategy. The strategy must be
 // valid for (g, topo); Build panics otherwise, since the search layer
@@ -183,12 +277,20 @@ func Build(g *graph.Graph, topo *device.Topology, strat *config.Strategy, est pe
 		}
 		tg.buildSync(op)
 	}
+	// Repack the incrementally grown adjacency rows into one contiguous
+	// CSR backing array: paid once per Build, read by every simulation.
+	tg.reindex()
 	return tg
 }
 
 func (tg *TaskGraph) newTask(t *Task) *Task {
 	t.ID = tg.nextID
 	tg.nextID++
+	if t.ID > math.MaxInt32 {
+		// The flat adjacency view stores IDs as int32; 2^31 tasks over
+		// a graph's lifetime is far beyond any search budget.
+		panic("taskgraph: task ID overflows int32")
+	}
 	if n := len(tg.freeSlots); n > 0 {
 		t.Slot = tg.freeSlots[n-1]
 		tg.freeSlots = tg.freeSlots[:n-1]
@@ -197,6 +299,7 @@ func (tg *TaskGraph) newTask(t *Task) *Task {
 		tg.numSlots++
 	}
 	tg.Tasks = append(tg.Tasks, t)
+	tg.adj.noteNew(t, t.ScheduleKey(tg.Topo.NumDevices()))
 	return t
 }
 
@@ -209,20 +312,79 @@ func addDep(from, to *Task) {
 	to.In = append(to.In, from)
 }
 
+// dep wires a dependency in both representations: the Task pointer
+// lists and the slot-indexed adjacency rows. Every builder edge goes
+// through here so the flat view never drifts from the pointer graph.
+func (tg *TaskGraph) dep(from, to *Task) {
+	addDep(from, to)
+	tg.adj.Out[from.Slot] = append(tg.adj.Out[from.Slot], int32(to.Slot))
+	tg.adj.In[to.Slot] = append(tg.adj.In[to.Slot], int32(from.Slot))
+}
+
 // Connect adds an ordering dependency between two tasks. It exists for
 // hand-assembled task graphs (tests, worked examples); Build wires
-// dependencies itself.
+// dependencies itself. Wire all dependencies before wrapping the tasks
+// with Manual — Manual indexes the structure it is handed.
 func Connect(from, to *Task) { addDep(from, to) }
 
 // Manual wraps hand-assembled tasks into a TaskGraph for direct
 // simulation (e.g. reproducing the worked example of Figure 5). Task IDs
-// are assigned in slice order.
+// are assigned in slice order. Dependencies (Connect) must already be
+// wired when Manual is called.
 func Manual(topo *device.Topology, tasks []*Task) *TaskGraph {
 	tg := &TaskGraph{Topo: topo, edgeComm: make(map[[2]int][]*Task)}
 	for _, t := range tasks {
 		tg.newTask(t)
 	}
+	tg.reindex()
 	return tg
+}
+
+// reindex rebuilds the flat adjacency view from the Task pointer
+// lists, packing every row into one contiguous backing array (the CSR
+// layout the simulator sweeps). Rows are cut with their capacity
+// pinned to their length so a later incremental append (ReplaceConfig
+// rewiring a survivor) reallocates that row instead of clobbering its
+// neighbour.
+func (tg *TaskGraph) reindex() {
+	n := tg.numSlots
+	a := &tg.adj
+	a.ID = make([]int32, n)
+	for i := range a.ID {
+		a.ID[i] = -1
+	}
+	a.Exe = make([]time.Duration, n)
+	a.Key = make([]int32, n)
+	a.Task = make([]*Task, n)
+	a.In = make([][]int32, n)
+	a.Out = make([][]int32, n)
+	numDevices := tg.Topo.NumDevices()
+	total := 0
+	for _, t := range tg.Tasks {
+		if !t.Dead {
+			total += len(t.In) + len(t.Out)
+		}
+	}
+	backing := make([]int32, 0, total)
+	for _, t := range tg.Tasks {
+		if t.Dead {
+			continue
+		}
+		a.ID[t.Slot] = int32(t.ID)
+		a.Exe[t.Slot] = t.Exe
+		a.Key[t.Slot] = int32(t.ScheduleKey(numDevices))
+		a.Task[t.Slot] = t
+		lo := len(backing)
+		for _, p := range t.In {
+			backing = append(backing, int32(p.Slot))
+		}
+		a.In[t.Slot] = backing[lo:len(backing):len(backing)]
+		lo = len(backing)
+		for _, s := range t.Out {
+			backing = append(backing, int32(s.Slot))
+		}
+		a.Out[t.Slot] = backing[lo:len(backing):len(backing)]
+	}
 }
 
 // regionOf returns the output region of task index k of op.
@@ -260,7 +422,7 @@ func (tg *TaskGraph) buildComputeTasks(op *graph.Op) {
 			Device: c.Devices[k], Link: -1,
 			Exe: tg.Est.ExecTime(op, region, dev, perfmodel.Backward),
 		})
-		addDep(fwd[k], bwd[k])
+		tg.dep(fwd[k], bwd[k])
 	}
 	tg.bwd[op.ID] = bwd
 }
@@ -300,9 +462,9 @@ func (tg *TaskGraph) buildEdge(prod, cons *graph.Op) {
 			ct := tg.fwd[cons.ID][ck]
 			srcDev, dstDev := pt.Device, ct.Device
 			if srcDev == dstDev {
-				addDep(pt, ct)
+				tg.dep(pt, ct)
 				if !tg.Opts.SkipBackward {
-					addDep(tg.bwd[cons.ID][ck], tg.bwd[prod.ID][pk])
+					tg.dep(tg.bwd[cons.ID][ck], tg.bwd[prod.ID][pk])
 				}
 				continue
 			}
@@ -314,8 +476,8 @@ func (tg *TaskGraph) buildEdge(prod, cons *graph.Op) {
 				SrcDev: srcDev, DstDev: dstDev,
 				Bytes: bytes, Exe: path.TransferTime(bytes),
 			})
-			addDep(pt, fc)
-			addDep(fc, ct)
+			tg.dep(pt, fc)
+			tg.dep(fc, ct)
 			comms = append(comms, fc)
 			if !tg.Opts.SkipBackward {
 				rpath := tg.Topo.Route(dstDev, srcDev)
@@ -325,8 +487,8 @@ func (tg *TaskGraph) buildEdge(prod, cons *graph.Op) {
 					SrcDev: dstDev, DstDev: srcDev,
 					Bytes: bytes, Exe: rpath.TransferTime(bytes),
 				})
-				addDep(tg.bwd[cons.ID][ck], bc)
-				addDep(bc, tg.bwd[prod.ID][pk])
+				tg.dep(tg.bwd[cons.ID][ck], bc)
+				tg.dep(bc, tg.bwd[prod.ID][pk])
 				comms = append(comms, bc)
 			}
 		}
@@ -395,7 +557,7 @@ func (tg *TaskGraph) buildSync(op *graph.Op) {
 		}
 		if len(devs) == 1 {
 			for _, bt := range byDev[devs[0]] {
-				addDep(bt, updates[0])
+				tg.dep(bt, updates[0])
 			}
 			extras = append(extras, updates[0])
 			continue
@@ -428,9 +590,9 @@ func (tg *TaskGraph) buildRingSync(op *graph.Op, devs []int, byDev map[int][]*Ta
 			Bytes: bytes, Exe: path.TransferTime(bytes), Sync: true,
 		})
 		for _, bt := range byDev[src] {
-			addDep(bt, ct)
+			tg.dep(bt, ct)
 		}
-		addDep(ct, updates[(i+1)%n])
+		tg.dep(ct, updates[(i+1)%n])
 		out = append(out, ct)
 	}
 	return out
@@ -451,13 +613,13 @@ func (tg *TaskGraph) buildStarSync(op *graph.Op, devs []int, byDev map[int][]*Ta
 			Bytes: shardBytes, Exe: up.TransferTime(shardBytes), Sync: true,
 		})
 		for _, bt := range byDev[devs[i]] {
-			addDep(bt, in)
+			tg.dep(bt, in)
 		}
-		addDep(in, updates[0])
+		tg.dep(in, updates[0])
 		out = append(out, in)
 	}
 	for _, bt := range byDev[primary] {
-		addDep(bt, updates[0])
+		tg.dep(bt, updates[0])
 	}
 	for i := 1; i < len(devs); i++ {
 		down := tg.Topo.Route(primary, devs[i])
@@ -467,8 +629,8 @@ func (tg *TaskGraph) buildStarSync(op *graph.Op, devs []int, byDev map[int][]*Ta
 			SrcDev: primary, DstDev: devs[i],
 			Bytes: shardBytes, Exe: down.TransferTime(shardBytes), Sync: true,
 		})
-		addDep(updates[0], bc)
-		addDep(bc, updates[i])
+		tg.dep(updates[0], bc)
+		tg.dep(bc, updates[i])
 		out = append(out, bc)
 	}
 	return out

@@ -1,0 +1,73 @@
+package flexflow
+
+import (
+	"path/filepath"
+	"testing"
+
+	"flexflow/internal/benchjson"
+)
+
+// TestBenchTrajectoryFiles is the BENCH_*.json gate CI runs: every
+// committed trajectory file must parse and satisfy the schema
+// (internal/benchjson: schema version, PR label, benchmarks, a
+// proposals/sec/core metric), at least one file must exist so the
+// per-PR trajectory never silently stops, and a file that records a
+// baseline must show at least one of those benchmarks improving —
+// recording a baseline is a performance claim, and the claim must hold
+// in the committed numbers.
+func TestBenchTrajectoryFiles(t *testing.T) {
+	files, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no BENCH_*.json trajectory files committed (see docs/EXPERIMENTS.md)")
+	}
+	for _, file := range files {
+		f, err := benchjson.Load(file)
+		if err != nil {
+			t.Errorf("%v", err)
+			continue
+		}
+		if len(f.Baseline) == 0 {
+			continue
+		}
+		improved := false
+		for name, base := range f.Baseline {
+			cur, ok := f.Benchmarks[name]
+			if !ok {
+				continue
+			}
+			if cur.NsPerOp < base.NsPerOp || (base.AllocsPerOp > 0 && cur.AllocsPerOp < base.AllocsPerOp) {
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			t.Errorf("%s: baseline recorded but no shared benchmark improves ns_per_op or allocs_per_op", file)
+		}
+	}
+}
+
+// TestBenchPR6DeltaSimImproves pins this PR's acceptance criterion in
+// the committed artifact: the CSR hot-path flattening must show
+// BenchmarkDeltaSimulation/nmt improving ns/op or allocs/op over the
+// pre-PR baseline recorded in the same file.
+func TestBenchPR6DeltaSimImproves(t *testing.T) {
+	f, err := benchjson.Load("BENCH_pr6.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const name = "BenchmarkDeltaSimulation/nmt"
+	base, ok := f.Baseline[name]
+	if !ok {
+		t.Fatalf("%s missing from baseline", name)
+	}
+	cur, ok := f.Benchmarks[name]
+	if !ok {
+		t.Fatalf("%s missing from benchmarks", name)
+	}
+	if cur.NsPerOp >= base.NsPerOp && cur.AllocsPerOp >= base.AllocsPerOp {
+		t.Fatalf("%s: current %+v does not improve on baseline %+v", name, cur, base)
+	}
+}
