@@ -313,3 +313,21 @@ func ExportStrategy(g *Graph, s *Strategy) ([]byte, error) {
 func ImportStrategy(data []byte, g *Graph, topo *Topology) (*Strategy, error) {
 	return config.UnmarshalStrategy(data, g, topo)
 }
+
+// ExportGraph serializes an operator graph as JSON — the wire format
+// the strategy server (cmd/flexflowd) accepts for custom graphs; see
+// docs/SERVER.md. Op names must be unique (the model builders
+// guarantee this).
+func ExportGraph(g *Graph) ([]byte, error) { return config.MarshalGraph(g) }
+
+// ImportGraph parses a graph exported by ExportGraph and validates its
+// structural invariants.
+func ImportGraph(data []byte) (*Graph, error) { return config.UnmarshalGraph(data) }
+
+// ExportTopology serializes a device topology as JSON — the wire
+// format the strategy server accepts for custom machines.
+func ExportTopology(t *Topology) ([]byte, error) { return config.MarshalTopology(t) }
+
+// ImportTopology parses a topology exported by ExportTopology and
+// validates it (connectivity, positive bandwidths).
+func ImportTopology(data []byte) (*Topology, error) { return config.UnmarshalTopology(data) }

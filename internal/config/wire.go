@@ -1,0 +1,266 @@
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"flexflow/internal/device"
+	"flexflow/internal/graph"
+	"flexflow/internal/tensor"
+)
+
+// The graph and topology wire formats: the JSON bodies the strategy
+// server (internal/server, cmd/flexflowd) accepts for custom problems,
+// and the import/export format of the facade's
+// ExportGraph/ImportGraph/ExportTopology/ImportTopology. Like the
+// strategy format in serialize.go, ops are referenced by name (not ID)
+// so a serialized graph is stable across rebuilds, and every enum is a
+// string (the OpKind/DimKind/device Kind/LinkClass String names) so the
+// format is self-describing and survives enum renumbering. The
+// model-zoo round-trip tests in wire_test.go pin the format for every
+// graph the zoo can emit; docs/SERVER.md documents the payloads.
+
+type graphJSON struct {
+	Name string   `json:"name"`
+	Ops  []opJSON `json:"ops"`
+}
+
+type opJSON struct {
+	Name   string    `json:"name"`
+	Kind   string    `json:"kind"`
+	Out    []dimJSON `json:"out"`
+	Inputs []string  `json:"inputs,omitempty"`
+
+	KernelH int `json:"kernel_h,omitempty"`
+	KernelW int `json:"kernel_w,omitempty"`
+	StrideH int `json:"stride_h,omitempty"`
+	StrideW int `json:"stride_w,omitempty"`
+	PadH    int `json:"pad_h,omitempty"`
+	PadW    int `json:"pad_w,omitempty"`
+
+	ConcatDim   int   `json:"concat_dim,omitempty"`
+	Step        int   `json:"step,omitempty"`
+	InChannels  int   `json:"in_channels,omitempty"`
+	Layer       int   `json:"layer"`
+	WeightElems int64 `json:"weight_elems,omitempty"`
+}
+
+type dimJSON struct {
+	Name string `json:"name"`
+	Size int    `json:"size"`
+	Kind string `json:"kind"`
+}
+
+// opKindByName maps OpKind.String() names back to kinds; built from the
+// kinds themselves so it can never drift from the String method.
+var opKindByName = func() map[string]graph.OpKind {
+	m := make(map[string]graph.OpKind, graph.NumOpKinds)
+	for k := 0; k < graph.NumOpKinds; k++ {
+		m[graph.OpKind(k).String()] = graph.OpKind(k)
+	}
+	return m
+}()
+
+// dimKindByName maps DimKind.String() names back to kinds.
+var dimKindByName = map[string]tensor.DimKind{
+	tensor.Sample.String():       tensor.Sample,
+	tensor.Attribute.String():    tensor.Attribute,
+	tensor.Parameter.String():    tensor.Parameter,
+	tensor.Unsplittable.String(): tensor.Unsplittable,
+}
+
+// MarshalGraph encodes an operator graph as JSON. Op names must be
+// unique — they are the wire format's cross-references (inputs name
+// their producers), exactly like the strategy format.
+func MarshalGraph(g *graph.Graph) ([]byte, error) {
+	out := graphJSON{Name: g.Name, Ops: make([]opJSON, 0, g.NumOps())}
+	seen := make(map[string]bool, g.NumOps())
+	for _, op := range g.Ops {
+		if seen[op.Name] {
+			return nil, fmt.Errorf("config: duplicate op name %q prevents graph serialization", op.Name)
+		}
+		seen[op.Name] = true
+		oj := opJSON{
+			Name:    op.Name,
+			Kind:    op.Kind.String(),
+			KernelH: op.KernelH, KernelW: op.KernelW,
+			StrideH: op.StrideH, StrideW: op.StrideW,
+			PadH: op.PadH, PadW: op.PadW,
+			ConcatDim: op.ConcatDim, Step: op.Step,
+			InChannels: op.InChannels, Layer: op.Layer,
+			WeightElems: op.WeightElems,
+		}
+		for _, d := range op.Out.Dims {
+			oj.Out = append(oj.Out, dimJSON{Name: d.Name, Size: d.Size, Kind: d.Kind.String()})
+		}
+		for _, in := range op.Inputs {
+			oj.Inputs = append(oj.Inputs, in.Name)
+		}
+		out.Ops = append(out.Ops, oj)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// UnmarshalGraph decodes a graph written by MarshalGraph and validates
+// it (graph.Validate: topological input order, shape/region
+// consistency), so a hand-written or corrupted payload is rejected with
+// an error instead of crashing a later build.
+func UnmarshalGraph(data []byte) (*graph.Graph, error) {
+	var in graphJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("config: decoding graph: %w", err)
+	}
+	if in.Name == "" {
+		return nil, fmt.Errorf("config: graph has no name")
+	}
+	g := graph.New(in.Name)
+	byName := make(map[string]*graph.Op, len(in.Ops))
+	for _, oj := range in.Ops {
+		if oj.Name == "" {
+			return nil, fmt.Errorf("config: graph %q has an unnamed op", in.Name)
+		}
+		if _, dup := byName[oj.Name]; dup {
+			return nil, fmt.Errorf("config: graph %q has duplicate op name %q", in.Name, oj.Name)
+		}
+		kind, ok := opKindByName[oj.Kind]
+		if !ok {
+			return nil, fmt.Errorf("config: op %q has unknown kind %q", oj.Name, oj.Kind)
+		}
+		if len(oj.Out) == 0 {
+			return nil, fmt.Errorf("config: op %q has no output shape", oj.Name)
+		}
+		dims := make([]tensor.Dim, len(oj.Out))
+		for i, dj := range oj.Out {
+			dk, ok := dimKindByName[dj.Kind]
+			if !ok {
+				return nil, fmt.Errorf("config: op %q dim %q has unknown kind %q", oj.Name, dj.Name, dj.Kind)
+			}
+			if dj.Size <= 0 {
+				return nil, fmt.Errorf("config: op %q dim %q has non-positive size %d", oj.Name, dj.Name, dj.Size)
+			}
+			dims[i] = tensor.D(dj.Name, dj.Size, dk)
+		}
+		op := &graph.Op{
+			Kind: kind, Name: oj.Name,
+			Out:     tensor.MakeShape(dims...),
+			KernelH: oj.KernelH, KernelW: oj.KernelW,
+			StrideH: oj.StrideH, StrideW: oj.StrideW,
+			PadH: oj.PadH, PadW: oj.PadW,
+			ConcatDim: oj.ConcatDim, Step: oj.Step,
+			InChannels: oj.InChannels, Layer: oj.Layer,
+			WeightElems: oj.WeightElems,
+		}
+		for _, name := range oj.Inputs {
+			producer, ok := byName[name]
+			if !ok {
+				return nil, fmt.Errorf("config: op %q consumes op %q that does not precede it", oj.Name, name)
+			}
+			op.Inputs = append(op.Inputs, producer)
+		}
+		g.Append(op)
+		byName[oj.Name] = op
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("config: decoded graph invalid: %w", err)
+	}
+	return g, nil
+}
+
+type topoJSON struct {
+	Name    string       `json:"name"`
+	Devices []deviceJSON `json:"devices"`
+	Links   []linkJSON   `json:"links"`
+}
+
+type deviceJSON struct {
+	Kind       string  `json:"kind"`
+	Name       string  `json:"name"`
+	Node       int     `json:"node"`
+	Model      string  `json:"model,omitempty"`
+	PeakGFLOPS float64 `json:"peak_gflops,omitempty"`
+	MemBWGBs   float64 `json:"mem_bw_gbs,omitempty"`
+	MemGB      float64 `json:"mem_gb,omitempty"`
+}
+
+type linkJSON struct {
+	Class     string  `json:"class"`
+	A         int     `json:"a"`
+	B         int     `json:"b"`
+	BWGBs     float64 `json:"bw_gbs"`
+	LatencyNs int64   `json:"latency_ns,omitempty"`
+}
+
+// deviceKindByName and linkClassByName invert the String names of the
+// device enums for decoding.
+var (
+	deviceKindByName = map[string]device.Kind{
+		device.GPU.String(): device.GPU,
+		device.CPU.String(): device.CPU,
+	}
+	linkClassByName = map[string]device.LinkClass{
+		device.NVLink.String():     device.NVLink,
+		device.PCIe.String():       device.PCIe,
+		device.Infiniband.String(): device.Infiniband,
+		device.Loopback.String():   device.Loopback,
+	}
+)
+
+// MarshalTopology encodes a device topology as JSON. Device and link
+// IDs are positional (array index), so the format carries no redundant
+// numbering to drift out of sync.
+func MarshalTopology(t *device.Topology) ([]byte, error) {
+	out := topoJSON{Name: t.Name}
+	for _, d := range t.Devices {
+		out.Devices = append(out.Devices, deviceJSON{
+			Kind: d.Kind.String(), Name: d.Name, Node: d.Node, Model: d.Model,
+			PeakGFLOPS: d.PeakGFLOPS, MemBWGBs: d.MemBWGBs, MemGB: d.MemGB,
+		})
+	}
+	for _, l := range t.Links {
+		out.Links = append(out.Links, linkJSON{
+			Class: l.Class.String(), A: l.A, B: l.B,
+			BWGBs: l.BWGBs, LatencyNs: int64(l.Latency),
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// UnmarshalTopology decodes a topology written by MarshalTopology and
+// validates it (device.Validate: non-empty, positive bandwidths,
+// connectivity), so a disconnected or nonsense machine is rejected at
+// the wire instead of panicking inside the simulator's route build.
+func UnmarshalTopology(data []byte) (*device.Topology, error) {
+	var in topoJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("config: decoding topology: %w", err)
+	}
+	if in.Name == "" {
+		return nil, fmt.Errorf("config: topology has no name")
+	}
+	t := device.NewTopology(in.Name)
+	for i, dj := range in.Devices {
+		kind, ok := deviceKindByName[dj.Kind]
+		if !ok {
+			return nil, fmt.Errorf("config: device %d has unknown kind %q", i, dj.Kind)
+		}
+		t.AddDevice(device.Device{
+			Kind: kind, Name: dj.Name, Node: dj.Node, Model: dj.Model,
+			PeakGFLOPS: dj.PeakGFLOPS, MemBWGBs: dj.MemBWGBs, MemGB: dj.MemGB,
+		})
+	}
+	for i, lj := range in.Links {
+		class, ok := linkClassByName[lj.Class]
+		if !ok {
+			return nil, fmt.Errorf("config: link %d has unknown class %q", i, lj.Class)
+		}
+		if lj.A < 0 || lj.A >= len(in.Devices) || lj.B < 0 || lj.B >= len(in.Devices) {
+			return nil, fmt.Errorf("config: link %d connects unknown devices %d<->%d", i, lj.A, lj.B)
+		}
+		t.AddLink(class, lj.A, lj.B, lj.BWGBs, time.Duration(lj.LatencyNs))
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("config: decoded topology invalid: %w", err)
+	}
+	return t, nil
+}

@@ -30,8 +30,20 @@ func New(name string) *Graph {
 
 // add appends an op, wiring consumer indices. Called by the builder.
 func (g *Graph) add(op *Op) *Op {
-	op.ID = len(g.Ops)
 	op.Layer = -1
+	return g.Append(op)
+}
+
+// Append adds a fully-constructed op to the graph: it assigns the op's
+// ID (insertion order) and wires consumer indices, taking every other
+// field verbatim — in particular Layer and WeightElems survive a wire
+// round-trip unchanged. It is the entry point for deserializers
+// (config.UnmarshalGraph) and hand-assembled graphs; model code should
+// prefer the typed builder methods, which derive shapes and weight
+// counts. Callers are responsible for running Validate on the finished
+// graph.
+func (g *Graph) Append(op *Op) *Op {
+	op.ID = len(g.Ops)
 	g.Ops = append(g.Ops, op)
 	for _, in := range op.Inputs {
 		g.consumers[in.ID] = append(g.consumers[in.ID], op)

@@ -1,0 +1,57 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestForEachWidthCapsConcurrentSubmitters checks the per-loop width
+// cap under contention: independent goroutines each submit a ForEach
+// with a different limit onto the one shared pool, and no loop may
+// ever have more bodies in flight than its own cap — even while
+// helpers steal freely across loops — while the uncapped loop must
+// still actually go wide (the caps narrow one loop, not the pool).
+func TestForEachWidthCapsConcurrentSubmitters(t *testing.T) {
+	prev := WorkerBound()
+	SetWorkers(8)
+	defer SetWorkers(prev)
+
+	caps := []int{1, 2, 3, 0} // 0 = no per-loop cap (pool bound applies)
+	const n = 120
+	cur := make([]int64, len(caps))
+	maxSeen := make([]int64, len(caps))
+	var wg sync.WaitGroup
+	for s := range caps {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			ForEach(caps[s], n, func(int) {
+				c := atomic.AddInt64(&cur[s], 1)
+				for {
+					m := atomic.LoadInt64(&maxSeen[s])
+					if c <= m || atomic.CompareAndSwapInt64(&maxSeen[s], m, c) {
+						break
+					}
+				}
+				time.Sleep(200 * time.Microsecond) // dwell so overlap is observable
+				atomic.AddInt64(&cur[s], -1)
+			})
+		}(s)
+	}
+	wg.Wait()
+
+	for s, limit := range caps {
+		bound := int64(limit)
+		if limit <= 0 {
+			bound = 8
+		}
+		if maxSeen[s] > bound {
+			t.Errorf("loop with cap %d peaked at %d concurrent bodies", limit, maxSeen[s])
+		}
+	}
+	if maxSeen[len(caps)-1] < 2 {
+		t.Errorf("uncapped loop never went wide (peak %d); the caps starved the pool", maxSeen[len(caps)-1])
+	}
+}

@@ -1,0 +1,67 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is the strategy cache: fingerprint -> finished optimize
+// response, bounded by entry count with least-recently-used eviction.
+// Entries are small (a strategy JSON plus counters), so a count bound
+// is an adequate proxy for memory. Only complete, deterministic
+// results are stored (see Server.run), which is what entitles a hit to
+// stand in for a re-run.
+type lruCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+// lruEntry is one cache slot.
+type lruEntry struct {
+	key string
+	val optimizeResponse
+}
+
+// newLRUCache builds a cache bounded to max entries (max >= 1).
+func newLRUCache(max int) *lruCache {
+	return &lruCache{max: max, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// get returns the cached response for key and marks it recently used.
+func (c *lruCache) get(key string) (optimizeResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return optimizeResponse{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// put stores a response under key, evicting the least recently used
+// entry beyond the bound.
+func (c *lruCache) put(key string, val optimizeResponse) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	if c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// len reports the current entry count.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
