@@ -270,6 +270,36 @@ func BenchmarkChainSetup(b *testing.B) {
 	})
 }
 
+// BenchmarkChainSetupSynth100k is BenchmarkChainSetup at the synthetic
+// 100k-task roofline (see internal/models/synth.go): with copy-on-write
+// instances the shared-plan cost is dominated by the timeline clone and
+// stays far under the per-chain Build+Simulate, no matter the scale.
+func BenchmarkChainSetupSynth100k(b *testing.B) {
+	g := benchGraph(b, "synth-100k", 1)
+	topo := device.NewSingleNode(4, "P100")
+	est := newEstimator()
+	s := config.DataParallel(g, topo)
+	b.Run("build-per-chain", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tg := taskgraph.Build(g, topo, s.Clone(), est, taskgraph.Options{})
+			sim.NewState(tg).Simulate()
+		}
+	})
+	b.Run("shared-plan", func(b *testing.B) {
+		plan := taskgraph.Compile(g, topo, s.Clone(), est, taskgraph.Options{})
+		base := sim.NewState(plan.Base())
+		base.Simulate()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			inst := plan.Instance()
+			st := base.CloneFor(inst)
+			_ = st.Makespan
+		}
+	})
+}
+
 // --- Substrate micro-benchmarks ---------------------------------------
 
 // BenchmarkTaskGraphBuild measures BUILDTASKGRAPH (Algorithm 1 line 2).
@@ -311,9 +341,21 @@ func BenchmarkFullSimulation(b *testing.B) {
 // ReplaceConfig+ApplyDelta only — not the RNG or config cloning of the
 // harness.
 func BenchmarkDeltaSimulation(b *testing.B) {
-	for _, model := range []string{"inception-v3", "nmt"} {
+	for _, c := range []struct {
+		model  string
+		factor int
+	}{
+		{"inception-v3", 8},
+		{"nmt", 8},
+		// The synthetic 50k-task class (factor 1 = full size): the delta
+		// algorithm's per-proposal cost must stay local to the mutated op
+		// even when the surrounding graph is two orders of magnitude
+		// bigger than the paper's models.
+		{"synth-50k", 1},
+	} {
+		model, factor := c.model, c.factor
 		b.Run(model, func(b *testing.B) {
-			g := benchGraph(b, model, 8)
+			g := benchGraph(b, model, factor)
 			topo := device.NewSingleNode(4, "P100")
 			tg := taskgraph.Build(g, topo, config.DataParallel(g, topo), newEstimator(), taskgraph.Options{})
 			st := sim.NewState(tg)
@@ -353,8 +395,16 @@ func BenchmarkDeltaSimulation(b *testing.B) {
 // proposals/sec/core as a custom metric. The batch runs on one
 // goroutine, so proposals per wall-second here are proposals per
 // core-second.
-func BenchmarkProposalThroughput(b *testing.B) {
-	g := benchGraph(b, "nmt", 8)
+func BenchmarkProposalThroughput(b *testing.B) { benchProposalThroughput(b, "nmt", 8) }
+
+// BenchmarkProposalThroughputSynth50k is the same artifact at the
+// synthetic 50k-task class: steady-state proposal pricing against a
+// graph far past the paper's model sizes, where the copy-on-write
+// instance and the delta simulator carry the whole load.
+func BenchmarkProposalThroughputSynth50k(b *testing.B) { benchProposalThroughput(b, "synth-50k", 1) }
+
+func benchProposalThroughput(b *testing.B, model string, factor int) {
+	g := benchGraph(b, model, factor)
 	topo := device.NewSingleNode(4, "P100")
 	est := newEstimator()
 	plan := taskgraph.Compile(g, topo, config.DataParallel(g, topo), est, taskgraph.Options{})

@@ -12,6 +12,11 @@
 // trajectory. CI validation:
 //
 //	go run ./cmd/benchdump -validate BENCH_pr6.json
+//
+// Comparing two points of the trajectory (per-benchmark ns/op, B/op and
+// allocs/op deltas; negative percentages are improvements):
+//
+//	go run ./cmd/benchdump -compare BENCH_pr7.json BENCH_pr8.json
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"text/tabwriter"
 
 	"flexflow/internal/benchjson"
 )
@@ -27,17 +33,72 @@ import (
 func main() {
 	var (
 		out      = flag.String("o", "", "output file (default stdout)")
-		pr       = flag.String("pr", "", "PR label recorded in the file (required unless -validate)")
+		pr       = flag.String("pr", "", "PR label recorded in the file (required unless -validate/-compare)")
 		baseline = flag.String("baseline", "", "baseline source: a previous BENCH_*.json (its benchmarks carry over) or raw `go test -bench` output")
 		note     = flag.String("note", "", "free-form note recorded in the file")
 		validate = flag.String("validate", "", "validate an existing BENCH_*.json and exit")
+		compare  = flag.Bool("compare", false, "compare two BENCH_*.json files (old new) and print per-benchmark deltas")
 	)
 	flag.Parse()
+	if *compare {
+		if err := runCompare(flag.Args()); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdump:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*out, *pr, *baseline, *note, *validate, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "benchdump:", err)
 		os.Exit(1)
 	}
 }
+
+// runCompare prints the per-benchmark movement between two trajectory
+// files: one row per benchmark in either file, with old -> new values
+// and the relative change for ns/op, B/op and allocs/op.
+func runCompare(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("-compare takes exactly two files (old new), got %d", len(args))
+	}
+	old, err := benchjson.Load(args[0])
+	if err != nil {
+		return err
+	}
+	new, err := benchjson.Load(args[1])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("comparing %s (%s) -> %s (%s)\n", args[0], old.PR, args[1], new.PR)
+	if old.CPU != new.CPU && old.CPU != "" && new.CPU != "" {
+		fmt.Printf("warning: CPU changed between runs: %q vs %q\n", old.CPU, new.CPU)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "benchmark\tns/op\tB/op\tallocs/op")
+	for _, d := range benchjson.Compare(old, new) {
+		switch {
+		case !d.InOld:
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", d.Name,
+				newOnly(d.New.NsPerOp), newOnly(d.New.BytesPerOp), newOnly(d.New.AllocsPerOp))
+		case !d.InNew:
+			fmt.Fprintf(w, "%s\t(removed)\t\t\n", d.Name)
+		default:
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", d.Name,
+				col(d.Old.NsPerOp, d.New.NsPerOp, d.PctNs),
+				col(d.Old.BytesPerOp, d.New.BytesPerOp, d.PctBytes),
+				col(d.Old.AllocsPerOp, d.New.AllocsPerOp, d.PctAllocs))
+		}
+	}
+	return w.Flush()
+}
+
+func col(old, new float64, pct func() (float64, bool)) string {
+	if p, ok := pct(); ok {
+		return fmt.Sprintf("%.0f -> %.0f (%+.1f%%)", old, new, p)
+	}
+	return fmt.Sprintf("%.0f -> %.0f", old, new)
+}
+
+func newOnly(v float64) string { return fmt.Sprintf("(new) %.0f", v) }
 
 func run(out, pr, baseline, note, validate string, args []string) error {
 	if validate != "" {

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -160,6 +161,64 @@ func (f *File) Validate() error {
 		}
 	}
 	return fmt.Errorf("benchjson: no benchmark reports the %s metric", ThroughputMetric)
+}
+
+// Delta pairs one benchmark's results across two trajectory files.
+// InOld/InNew distinguish a genuinely missing side from a zero entry
+// (benchmarks come and go as the tracked set evolves).
+type Delta struct {
+	Name         string
+	Old, New     Entry
+	InOld, InNew bool
+}
+
+// PctNs returns the relative ns/op change in percent (negative =
+// improvement), and false when either side is missing or the old value
+// is zero.
+func (d Delta) PctNs() (float64, bool) { return pct(d.Old.NsPerOp, d.New.NsPerOp, d.InOld && d.InNew) }
+
+// PctBytes is PctNs for the B/op column.
+func (d Delta) PctBytes() (float64, bool) {
+	return pct(d.Old.BytesPerOp, d.New.BytesPerOp, d.InOld && d.InNew)
+}
+
+// PctAllocs is PctNs for the allocs/op column.
+func (d Delta) PctAllocs() (float64, bool) {
+	return pct(d.Old.AllocsPerOp, d.New.AllocsPerOp, d.InOld && d.InNew)
+}
+
+func pct(old, new float64, both bool) (float64, bool) {
+	if !both || old == 0 {
+		return 0, false
+	}
+	return (new - old) / old * 100, true
+}
+
+// Compare pairs the benchmarks of two trajectory files by name and
+// returns the union, sorted by name — the per-benchmark delta view
+// `benchdump -compare` prints.
+func Compare(old, new *File) []Delta {
+	names := map[string]bool{}
+	for n := range old.Benchmarks {
+		names[n] = true
+	}
+	for n := range new.Benchmarks {
+		names[n] = true
+	}
+	out := make([]Delta, 0, len(names))
+	for n := range names {
+		d := Delta{Name: n}
+		d.Old, d.InOld = entryAt(old.Benchmarks, n)
+		d.New, d.InNew = entryAt(new.Benchmarks, n)
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func entryAt(m map[string]Entry, name string) (Entry, bool) {
+	e, ok := m[name]
+	return e, ok
 }
 
 // Load reads and validates a BENCH_*.json file.

@@ -97,3 +97,59 @@ func TestStripProcs(t *testing.T) {
 		}
 	}
 }
+
+func TestCompare(t *testing.T) {
+	old := &File{Benchmarks: map[string]Entry{
+		"BenchmarkA":    {NsPerOp: 100, BytesPerOp: 2000, AllocsPerOp: 10},
+		"BenchmarkGone": {NsPerOp: 50},
+	}}
+	new := &File{Benchmarks: map[string]Entry{
+		"BenchmarkA":   {NsPerOp: 50, BytesPerOp: 1000, AllocsPerOp: 40},
+		"BenchmarkNew": {NsPerOp: 7},
+	}}
+	deltas := Compare(old, new)
+	names := make([]string, len(deltas))
+	for i, d := range deltas {
+		names[i] = d.Name
+	}
+	want := []string{"BenchmarkA", "BenchmarkGone", "BenchmarkNew"}
+	if len(names) != len(want) {
+		t.Fatalf("got %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("sorted union %v, want %v", names, want)
+		}
+	}
+
+	a := deltas[0]
+	if !a.InOld || !a.InNew {
+		t.Fatalf("BenchmarkA should be on both sides: %+v", a)
+	}
+	if p, ok := a.PctNs(); !ok || p != -50 {
+		t.Errorf("PctNs = %v,%v, want -50,true", p, ok)
+	}
+	if p, ok := a.PctBytes(); !ok || p != -50 {
+		t.Errorf("PctBytes = %v,%v, want -50,true", p, ok)
+	}
+	if p, ok := a.PctAllocs(); !ok || p != 300 {
+		t.Errorf("PctAllocs = %v,%v, want +300,true", p, ok)
+	}
+
+	gone, fresh := deltas[1], deltas[2]
+	if !gone.InOld || gone.InNew {
+		t.Errorf("BenchmarkGone sides wrong: %+v", gone)
+	}
+	if _, ok := gone.PctNs(); ok {
+		t.Error("one-sided delta reported a percentage")
+	}
+	if fresh.InOld || !fresh.InNew {
+		t.Errorf("BenchmarkNew sides wrong: %+v", fresh)
+	}
+	// Zero-valued old columns (e.g. -benchmem off in the old run) must
+	// not divide by zero.
+	zero := Delta{InOld: true, InNew: true, New: Entry{BytesPerOp: 5}}
+	if _, ok := zero.PctBytes(); ok {
+		t.Error("zero old value reported a percentage")
+	}
+}

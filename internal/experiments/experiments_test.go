@@ -224,7 +224,11 @@ func TestCaseStudies(t *testing.T) {
 func TestProfilingReport(t *testing.T) {
 	t.Parallel()
 	tab := MeasuringCacheReport(testScale())
-	if len(tab.Rows) != 7 {
+	// The six paper benchmarks + LeNet + the three synthetic scale
+	// probes (synth-2k/50k/100k), which stress the same observation two
+	// orders of magnitude up: ~100k estimated tasks still collapse to a
+	// handful of distinct signatures.
+	if len(tab.Rows) != 10 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
 	for i := range tab.Rows {

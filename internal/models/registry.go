@@ -57,6 +57,11 @@ var registry = map[string]Spec{
 		Build:      func(b, _ int) *graph.Graph { return LeNet(b) },
 		PaperBatch: 64,
 	},
+	// Synthetic scale probes (see synth.go): the suffix is the
+	// approximate live task count under 4-GPU data parallelism.
+	"synth-2k":   synthSpec("synth-2k", SynthParams{Width: 8, Depth: 10, FanIn: 2, Hidden: 64, Seed: 1}),
+	"synth-50k":  synthSpec("synth-50k", SynthParams{Width: 32, Depth: 70, FanIn: 2, Hidden: 64, Seed: 2}),
+	"synth-100k": synthSpec("synth-100k", SynthParams{Width: 32, Depth: 140, FanIn: 2, Hidden: 64, Seed: 3}),
 }
 
 // Get returns the spec for a model name.

@@ -1,0 +1,71 @@
+package models
+
+import (
+	"fmt"
+	"math/rand"
+
+	"flexflow/internal/graph"
+	"flexflow/internal/tensor"
+)
+
+// SynthParams parameterize the synthetic layered-DAG generator used to
+// probe task-graph scale beyond the paper's model zoo (the ~100k-task
+// roofline): Width ops per layer, Depth layers, FanIn distinct
+// predecessors per op (extras merge through Add ops), Hidden channels
+// per Dense, and a Seed that makes the wiring deterministic.
+type SynthParams struct {
+	Width  int
+	Depth  int
+	FanIn  int
+	Hidden int
+	Seed   int64
+}
+
+// Synth generates a deterministic layered DAG: every layer holds Width
+// Dense ops, each consuming FanIn distinct ops of the previous layer
+// (merged pairwise with Add when FanIn > 1). All Dense ops share the
+// Hidden output width, so shapes line up and every op stays
+// individually reconfigurable by the search. Identical (batch, params)
+// always yield the identical graph.
+func Synth(name string, batch int, p SynthParams) *graph.Graph {
+	if p.Width < 1 || p.Depth < 1 || p.Hidden < 1 {
+		panic(fmt.Sprintf("models: degenerate synth params %+v", p))
+	}
+	if p.FanIn < 1 {
+		p.FanIn = 1
+	}
+	g := graph.New(name)
+	x := g.InputTensor("x", tensor.MakeShape(
+		tensor.D(graph.DimSample, batch, tensor.Sample),
+		tensor.D(graph.DimChannel, p.Hidden, tensor.Attribute)))
+	rng := rand.New(rand.NewSource(p.Seed))
+	prev := []*graph.Op{x}
+	for l := 0; l < p.Depth; l++ {
+		cur := make([]*graph.Op, p.Width)
+		for n := 0; n < p.Width; n++ {
+			k := p.FanIn
+			if k > len(prev) {
+				k = len(prev)
+			}
+			perm := rng.Perm(len(prev))[:k]
+			in := prev[perm[0]]
+			for f := 1; f < k; f++ {
+				in = g.Add(fmt.Sprintf("l%d.n%d.add%d", l, n, f), in, prev[perm[f]])
+			}
+			cur[n] = g.Dense(fmt.Sprintf("l%d.n%d", l, n), in, p.Hidden)
+		}
+		prev = cur
+	}
+	return g
+}
+
+// synthSpec wraps a Synth parameterization as a registry Spec. The
+// step count is ignored (the DAG is not recurrent) and the batch knob
+// scales FLOPs, not structure.
+func synthSpec(name string, p SynthParams) Spec {
+	return Spec{
+		Name:       name,
+		Build:      func(b, _ int) *graph.Graph { return Synth(name, b, p) },
+		PaperBatch: 64,
+	}
+}

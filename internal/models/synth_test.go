@@ -1,0 +1,90 @@
+package models
+
+import (
+	"testing"
+
+	"flexflow/internal/config"
+	"flexflow/internal/device"
+	"flexflow/internal/graph"
+	"flexflow/internal/perfmodel"
+	"flexflow/internal/taskgraph"
+)
+
+// TestSynthDeterministic: identical (batch, params) produce the
+// identical graph — op for op, input for input. The bench trajectory
+// and the scale fuzz tests rely on this.
+func TestSynthDeterministic(t *testing.T) {
+	p := SynthParams{Width: 6, Depth: 5, FanIn: 3, Hidden: 32, Seed: 7}
+	a, b := Synth("s", 16, p), Synth("s", 16, p)
+	if a.NumOps() != b.NumOps() {
+		t.Fatalf("op counts differ: %d vs %d", a.NumOps(), b.NumOps())
+	}
+	for i, wa := range a.Ops {
+		wb := b.Op(i)
+		if wa.Name != wb.Name || wa.Kind != wb.Kind || len(wa.Inputs) != len(wb.Inputs) {
+			t.Fatalf("op %d diverged: %v vs %v", i, wa, wb)
+		}
+		for j := range wa.Inputs {
+			if wa.Inputs[j].ID != wb.Inputs[j].ID {
+				t.Fatalf("op %d input %d: %d vs %d", i, j, wa.Inputs[j].ID, wb.Inputs[j].ID)
+			}
+		}
+	}
+}
+
+// TestSynthKnobs: FanIn 1 yields a pure Dense DAG (no Add merges),
+// larger FanIn introduces them, and every generated graph validates.
+func TestSynthKnobs(t *testing.T) {
+	countAdds := func(g *graph.Graph) int {
+		n := 0
+		for _, op := range g.Ops {
+			if op.Kind == graph.Add {
+				n++
+			}
+		}
+		return n
+	}
+	chain := Synth("chain", 8, SynthParams{Width: 4, Depth: 6, FanIn: 1, Hidden: 16, Seed: 1})
+	if err := chain.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if n := countAdds(chain); n != 0 {
+		t.Fatalf("FanIn 1 produced %d Add ops", n)
+	}
+	wide := Synth("wide", 8, SynthParams{Width: 4, Depth: 6, FanIn: 3, Hidden: 16, Seed: 1})
+	if err := wide.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if n := countAdds(wide); n == 0 {
+		t.Fatal("FanIn 3 produced no Add ops")
+	}
+}
+
+// TestSynthScaleClasses pins the registry entries to their advertised
+// task-count classes under 4-GPU data parallelism — in particular that
+// synth-50k and synth-100k really clear the >=50k-task bar the scale
+// benchmarks claim.
+func TestSynthScaleClasses(t *testing.T) {
+	topo := device.NewSingleNode(4, "P100")
+	for _, tc := range []struct {
+		name string
+		min  int
+	}{
+		{"synth-2k", 1500},
+		{"synth-50k", 50000},
+		{"synth-100k", 100000},
+	} {
+		spec, err := Get(tc.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := spec.BuildPaper()
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		tg := taskgraph.Build(g, topo, config.DataParallel(g, topo), perfmodel.NewAnalyticModel(), taskgraph.Options{})
+		if tg.Alive() < tc.min {
+			t.Fatalf("%s: %d live tasks, want >= %d", tc.name, tg.Alive(), tc.min)
+		}
+	}
+}

@@ -75,9 +75,10 @@ func Execute(tg *taskgraph.TaskGraph, opts Options) Report {
 
 	// Perturbed duration per task, drawn in task-ID order for
 	// reproducibility independent of scheduling order.
+	a := tg.Adj()
 	dur := make(map[int]time.Duration, len(tg.Tasks))
 	for _, t := range tg.Tasks {
-		if t.Dead {
+		if !tg.Live(t) {
 			continue
 		}
 		d := t.Exe
@@ -93,20 +94,16 @@ func Execute(tg *taskgraph.TaskGraph, opts Options) Report {
 
 	// Event-driven FIFO execution: tasks become ready when all inputs
 	// complete; each resource runs its ready tasks in arrival order.
+	// Adjacency rows hold live slots only, so no dead filters needed.
 	pq := &evHeap{}
 	remaining := make(map[int]int, len(tg.Tasks))
 	alive := 0
 	for _, t := range tg.Tasks {
-		if t.Dead {
+		if !tg.Live(t) {
 			continue
 		}
 		alive++
-		n := 0
-		for _, p := range t.In {
-			if !p.Dead {
-				n++
-			}
-		}
+		n := len(a.In[t.Slot])
 		remaining[t.ID] = n
 		if n == 0 {
 			heap.Push(pq, evHeapItem{0, t.ID, t})
@@ -133,16 +130,14 @@ func Execute(tg *taskgraph.TaskGraph, opts Options) Report {
 			makespan = end
 		}
 		run++
-		for _, succ := range e.t.Out {
-			if succ.Dead {
-				continue
-			}
+		for _, ss := range a.Out[e.t.Slot] {
+			succ := a.Task[ss]
 			remaining[succ.ID]--
 			if remaining[succ.ID] == 0 {
 				ready := time.Duration(0)
-				for _, p := range succ.In {
-					if !p.Dead && endAt[p.ID] > ready {
-						ready = endAt[p.ID]
+				for _, ps := range a.In[ss] {
+					if end := endAt[int(a.ID[ps])]; end > ready {
+						ready = end
 					}
 				}
 				heap.Push(pq, evHeapItem{ready, succ.ID, succ})

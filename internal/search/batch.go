@@ -40,25 +40,36 @@ type Proposal struct {
 // base must be the simulated timeline of plan's base graph (or a clone
 // of it). Neither is written: the batch works on private copies.
 func EvaluateBatch(plan *taskgraph.Plan, base *sim.State, props []Proposal) []time.Duration {
-	costs := make([]time.Duration, len(props))
 	if len(props) == 0 {
-		return costs
+		return make([]time.Duration, 0)
 	}
 	inst := plan.Instance()
 	st := base.CloneFor(inst)
-	baseStrat := plan.Base().Strat // read-only: the shared strat is never written
+	// The shared base strat is only read; reverts clone its configs so
+	// the private instance never aliases the frozen storage.
+	return EvaluateBatchFrom(inst, st, plan.Base().Strat, props)
+}
+
+// EvaluateBatchFrom is EvaluateBatch against an existing instance and
+// timeline instead of a fresh one off a plan — the form the MCMC
+// steady-state loop uses, where the current walk point is an
+// already-mutated instance. Each proposal is priced relative to cur
+// (the strategy tg currently implements): same-op runs chain directly,
+// a revert to cur's config is inserted when the batch moves to a
+// different op, and the instance is left parked at the last proposal
+// (no trailing revert), so a caller that accepts it pays nothing
+// extra. Callers that land elsewhere must re-park the instance
+// themselves: replace the last proposal's op with the desired config.
+// tg and st are mutated; cur is only read.
+func EvaluateBatchFrom(tg *taskgraph.TaskGraph, st *sim.State, cur *config.Strategy, props []Proposal) []time.Duration {
+	costs := make([]time.Duration, len(props))
 	curOp := -1
 	for i, p := range props {
 		if curOp >= 0 && p.OpID != curOp {
-			// Moving to a new op: restore the previous op to its base
-			// config so this proposal is priced against the base
-			// strategy. The config is cloned so the private instance
-			// never aliases the frozen base strategy's storage.
-			orig := baseStrat.Config(curOp).Clone()
-			st.ApplyDelta(inst.ReplaceConfig(curOp, orig))
+			st.ApplyDelta(tg.ReplaceConfig(curOp, cur.Config(curOp).Clone()))
 		}
 		curOp = p.OpID
-		costs[i] = st.ApplyDelta(inst.ReplaceConfig(p.OpID, p.Cfg))
+		costs[i] = st.ApplyDelta(tg.ReplaceConfig(p.OpID, p.Cfg))
 	}
 	return costs
 }

@@ -55,6 +55,7 @@ import (
 	"context"
 	"math"
 	"math/rand"
+	"sort"
 	"time"
 
 	"flexflow/internal/config"
@@ -135,6 +136,18 @@ type Options struct {
 	// search start, so a fixed cost model keeps budgeted runs
 	// bit-identical across Workers values and pool sizes.
 	Cost CostModel
+	// ProposalBatch sets how many proposals a chain drafts per round in
+	// delta mode (0 or 1 = the classic one-at-a-time walk, bit-identical
+	// to a ProposalBatch-less search). A round drafts K proposals from
+	// the chain's current point, prices all of them in one
+	// EvaluateBatchFrom pass — grouped by op, so same-op drafts chain
+	// without revert deltas — and accepts the first winner in draw
+	// order, discarding the later drafts of the round (their costs were
+	// priced against the pre-move point). Every batch size is its own
+	// deterministic walk: for a fixed (Seed, ProposalBatch, CostModel)
+	// the Result is bit-identical across Workers values and pool sizes.
+	// Ignored in FullSim mode, which rebuilds per proposal anyway.
+	ProposalBatch int
 	// Workers caps this search's share of the process-wide worker pool
 	// (0 = the pool's full bound; see par.SetWorkers). Results are
 	// identical for every value and every pool size; see the package
@@ -357,79 +370,159 @@ func runChain(ctx context.Context, g *graph.Graph, topo *device.Topology, est pe
 		return res
 	}
 
-	for it := 1; it <= opts.MaxIters; it++ {
-		if cancelled(ctx) {
-			return finish()
-		}
-		elapsed := virtual(it)
-		if opts.Budget > 0 && elapsed > opts.Budget {
-			break
-		}
-		// Criterion 2 of Section 6.2: stop when the best strategy has
-		// not improved for half of the search time — on the chain's
-		// virtual clock, so budgeted runs stop at the same proposal
-		// count every run. The criterion is defined relative to the
-		// time budget, so it only applies when one is set; iteration-
-		// budgeted runs (e.g. the Table 4 timing comparison) execute
-		// their full proposal count.
-		if opts.Budget > 0 && elapsed > 100*time.Millisecond && elapsed-lastImprove > elapsed/2 {
-			break
-		}
+	// Delta mode drafts batchSize proposals per round and prices them in
+	// one EvaluateBatchFrom pass over the chain's live instance. Full
+	// mode is forced to rounds of one: it rebuilds the task graph per
+	// proposal (Algorithm 1's BUILDTASKGRAPH), so there is nothing to
+	// batch. Rounds of one reproduce the classic one-proposal-at-a-time
+	// walk call for call — same RNG stream, same delta sequence, same
+	// stats — which the batch differential tests pin.
+	batchSize := opts.ProposalBatch
+	if batchSize < 1 || opts.FullSim {
+		batchSize = 1
+	}
+	type draft struct {
+		it      int
+		elapsed time.Duration
+		op      *graph.Op
+		oldCfg  *config.Config
+		newCfg  *config.Config
+		newFP   map[int]int64
+	}
+	round := make([]draft, 0, batchSize)
+	evalIdx := make([]int, 0, batchSize)
+	props := make([]Proposal, 0, batchSize)
+	costs := make([]time.Duration, batchSize)
 
-		op := ops[rng.Intn(len(ops))]
-		// Configs are immutable once built (Strategy.Set swaps pointers,
-		// never writes in place), so the revert path can keep the old
-		// pointer instead of a defensive per-proposal clone.
-		oldCfg := cur.Config(op.ID)
-		newCfg := config.RandomConfigRestricted(op, topo, rng, allowed)
-		if newCfg.Equal(oldCfg) {
+	it := 0
+	stopped := false
+	for !stopped && it < opts.MaxIters {
+		// Draft phase. The per-iteration bookkeeping — cancellation,
+		// virtual budget, the half-time stopping criterion, the RNG
+		// draws, memory feasibility — is the classic loop's, verbatim; a
+		// draft is exactly the proposal the classic loop would have
+		// simulated at that iteration.
+		round = round[:0]
+		for len(round) < batchSize && it < opts.MaxIters {
+			it++
+			if cancelled(ctx) {
+				return finish()
+			}
+			elapsed := virtual(it)
+			if opts.Budget > 0 && elapsed > opts.Budget {
+				stopped = true
+				break
+			}
+			// Criterion 2 of Section 6.2: stop when the best strategy has
+			// not improved for half of the search time — on the chain's
+			// virtual clock, so budgeted runs stop at the same proposal
+			// count every run. The criterion is defined relative to the
+			// time budget, so it only applies when one is set; iteration-
+			// budgeted runs (e.g. the Table 4 timing comparison) execute
+			// their full proposal count.
+			if opts.Budget > 0 && elapsed > 100*time.Millisecond && elapsed-lastImprove > elapsed/2 {
+				stopped = true
+				break
+			}
+			op := ops[rng.Intn(len(ops))]
+			// Configs are immutable once built (Strategy.Set swaps
+			// pointers, never writes in place), so drafts and the revert
+			// path can keep old pointers instead of defensive clones.
+			oldCfg := cur.Config(op.ID)
+			newCfg := config.RandomConfigRestricted(op, topo, rng, allowed)
+			if newCfg.Equal(oldCfg) {
+				continue
+			}
+			var newFP map[int]int64
+			if opts.MemoryCheck {
+				newFP = memory.OpFootprint(op, newCfg, opts.MemoryModel)
+				if !memFeasible(op, newFP) {
+					continue // infeasible proposal: rejected outright
+				}
+			}
+			round = append(round, draft{it: it, elapsed: elapsed, op: op, oldCfg: oldCfg, newCfg: newCfg, newFP: newFP})
+		}
+		if len(round) == 0 {
 			continue
 		}
-		var newFP map[int]int64
-		if opts.MemoryCheck {
-			newFP = memory.OpFootprint(op, newCfg, opts.MemoryModel)
-			if !memFeasible(op, newFP) {
-				continue // infeasible proposal: rejected outright
-			}
-		}
 
-		var newCost time.Duration
+		// Price the round. Delta mode evaluates every draft against the
+		// chain's current point in one EvaluateBatchFrom pass, grouped
+		// stably by op so same-op drafts chain without a revert delta in
+		// between; the pass leaves the instance parked at the last draft
+		// it evaluated. Full mode rebuilds and re-times the single draft.
+		lastEval := -1
 		if opts.FullSim {
-			cur.Set(op.ID, newCfg)
+			d := round[0]
+			cur.Set(d.op.ID, d.newCfg)
 			full := taskgraph.Build(g, topo, cur.Clone(), est, opts.TaskOpts)
 			fullState := sim.NewState(full)
-			newCost = fullState.Simulate()
+			costs[0] = fullState.Simulate()
 			st.Stats.FullSims++
 			st.Stats.Pops += fullState.Stats.Pops
+			cur.Set(d.op.ID, d.oldCfg)
 		} else {
-			cs := tg.ReplaceConfig(op.ID, newCfg)
-			newCost = st.ApplyDelta(cs)
-			cur.Set(op.ID, newCfg)
+			evalIdx = evalIdx[:0]
+			for k := range round {
+				evalIdx = append(evalIdx, k)
+			}
+			sort.SliceStable(evalIdx, func(a, b int) bool {
+				return round[evalIdx[a]].op.ID < round[evalIdx[b]].op.ID
+			})
+			props = props[:0]
+			for _, k := range evalIdx {
+				props = append(props, Proposal{OpID: round[k].op.ID, Cfg: round[k].newCfg})
+			}
+			for i, c := range EvaluateBatchFrom(tg, st, cur, props) {
+				costs[evalIdx[i]] = c
+			}
+			lastEval = evalIdx[len(evalIdx)-1]
 		}
-		res.Iters++
+		res.Iters += len(round)
 
-		if accept(cost, newCost, opts.Beta, rng) {
-			cost = newCost
+		// Accept phase: the Metropolis test walks the round in draw
+		// order and the first winner takes the move. Later drafts of the
+		// round were priced against the pre-move point, so they are
+		// discarded — each batch size is its own deterministic walk.
+		winner := -1
+		for k := range round {
+			if accept(cost, costs[k], opts.Beta, rng) {
+				winner = k
+				break
+			}
+		}
+		if winner >= 0 {
+			d := round[winner]
+			if !opts.FullSim && winner != lastEval {
+				// Re-park the instance at the winner: revert the op the
+				// batch pass ended on (unless it is the winner's own op,
+				// where replacing again lands correctly) and apply the
+				// winning config.
+				if lastOp := round[lastEval].op.ID; lastOp != d.op.ID {
+					st.ApplyDelta(tg.ReplaceConfig(lastOp, cur.Config(lastOp).Clone()))
+				}
+				st.ApplyDelta(tg.ReplaceConfig(d.op.ID, d.newCfg))
+			}
+			cur.Set(d.op.ID, d.newCfg)
+			cost = costs[winner]
 			res.Accepted++
 			if opts.MemoryCheck {
-				memCommit(op, newFP)
+				memCommit(d.op, d.newFP)
 			}
-			if newCost < res.BestCost {
-				res.BestCost = newCost
+			if cost < res.BestCost {
+				res.BestCost = cost
 				res.Best = cur.Clone()
-				res.Trace = append(res.Trace, TracePoint{Iter: it, Elapsed: elapsed, BestCost: newCost})
-				lastImprove = elapsed
+				res.Trace = append(res.Trace, TracePoint{Iter: d.it, Elapsed: d.elapsed, BestCost: cost})
+				lastImprove = d.elapsed
 				emit(opts.OnEvent, ProgressEvent{
-					Algorithm: "mcmc", Chain: chain, Iter: it, BestCost: newCost, Elapsed: elapsed,
+					Algorithm: "mcmc", Chain: chain, Iter: d.it, BestCost: cost, Elapsed: d.elapsed,
 				})
 			}
-		} else {
-			// Revert the proposal.
-			cur.Set(op.ID, oldCfg)
-			if !opts.FullSim {
-				cs := tg.ReplaceConfig(op.ID, oldCfg)
-				st.ApplyDelta(cs)
-			}
+		} else if !opts.FullSim {
+			// Every draft rejected: re-park the instance at the chain's
+			// current point by reverting the op the batch pass ended on.
+			lastOp := round[lastEval].op.ID
+			st.ApplyDelta(tg.ReplaceConfig(lastOp, cur.Config(lastOp).Clone()))
 		}
 	}
 	return finish()

@@ -148,6 +148,27 @@ func TestMCMCVirtualBudgetDeterministic(t *testing.T) {
 				workers, pl.Iters, profRef.Iters, pl.BestCost, profRef.BestCost)
 		}
 	}
+
+	// Batched rounds obey the same contract: ProposalBatch regroups how
+	// drafts are priced, but the virtual clock still ticks once per
+	// proposal, so a budgeted batched run stops at a fixed proposal
+	// count and replays bit-identically across invocations and Workers
+	// values (each batch size against its own reference walk).
+	opts.Cost = nil
+	opts.ProposalBatch = 6
+	opts.Workers = 1
+	batchRef := MCMC(context.Background(), g, topo, est, initials, opts)
+	if batchRef.Iters == 0 || batchRef.Iters >= opts.MaxIters {
+		t.Fatalf("budget did not bind at ProposalBatch=6: %d proposals", batchRef.Iters)
+	}
+	for _, workers := range []int{1, 2, runtime.NumCPU()} {
+		opts.Workers = workers
+		pl := MCMC(context.Background(), g, topo, est, initials, opts)
+		if !same(batchRef, pl) {
+			t.Fatalf("workers=%d batched budgeted run diverged: %d vs %d iters, %v vs %v",
+				workers, pl.Iters, batchRef.Iters, pl.BestCost, batchRef.BestCost)
+		}
+	}
 }
 
 // Shared estimator caches must not perturb the walk either: the

@@ -27,10 +27,13 @@ func TestMain(m *testing.M) {
 // TestMCMCPoolSizeDifferential is the pool-size analogue of the
 // Workers differentials: resizing the process-wide pool itself (not a
 // per-search cap) between 1, 2 and NumCPU must leave the MCMC result —
-// strategy, cost, proposal counts, stats, trace — bit-identical. It
-// does not call t.Parallel: it owns the global pool knob while it runs
-// (non-parallel tests execute alone), and restores it before the
-// parallel phase starts.
+// strategy, cost, proposal counts, stats, trace — bit-identical. The
+// contract holds per batch size (each ProposalBatch value is its own
+// deterministic walk), so the differential runs at rounds of one (the
+// classic walk) and at a batched round size. It does not call
+// t.Parallel: it owns the global pool knob while it runs (non-parallel
+// tests execute alone), and restores it before the parallel phase
+// starts.
 func TestMCMCPoolSizeDifferential(t *testing.T) {
 	prev := par.WorkerBound()
 	defer par.SetWorkers(prev)
@@ -43,37 +46,40 @@ func TestMCMCPoolSizeDifferential(t *testing.T) {
 	opts.Seed = 11
 	initials := Initials(g, topo, 11, true)
 
-	par.SetWorkers(1)
-	ref := MCMC(context.Background(), g, topo, est, initials, opts)
-	if ref.Iters == 0 || ref.Best == nil {
-		t.Fatalf("degenerate reference result: %+v", ref)
-	}
-	tried := map[int]bool{1: true}
-	for _, size := range []int{2, runtime.NumCPU(), 4} {
-		if tried[size] {
-			continue
+	for _, batch := range []int{1, 8} {
+		opts.ProposalBatch = batch
+		par.SetWorkers(1)
+		ref := MCMC(context.Background(), g, topo, est, initials, opts)
+		if ref.Iters == 0 || ref.Best == nil {
+			t.Fatalf("batch=%d: degenerate reference result: %+v", batch, ref)
 		}
-		tried[size] = true
-		par.SetWorkers(size)
-		got := MCMC(context.Background(), g, topo, est, initials, opts)
-		if got.BestCost != ref.BestCost || !got.Best.Equal(ref.Best) {
-			t.Errorf("pool=%d: Best/BestCost %v differ from pool=1 %v", size, got.BestCost, ref.BestCost)
-		}
-		if got.Iters != ref.Iters || got.Accepted != ref.Accepted {
-			t.Errorf("pool=%d: Iters/Accepted %d/%d != pool=1 %d/%d",
-				size, got.Iters, got.Accepted, ref.Iters, ref.Accepted)
-		}
-		if got.SimStats != ref.SimStats {
-			t.Errorf("pool=%d: SimStats %+v != pool=1 %+v", size, got.SimStats, ref.SimStats)
-		}
-		if len(got.Trace) != len(ref.Trace) {
-			t.Errorf("pool=%d: trace length %d != pool=1 %d", size, len(got.Trace), len(ref.Trace))
-			continue
-		}
-		for i := range ref.Trace {
-			if got.Trace[i] != ref.Trace[i] {
-				t.Errorf("pool=%d: trace[%d] = %+v != pool=1 %+v", size, i, got.Trace[i], ref.Trace[i])
-				break
+		tried := map[int]bool{1: true}
+		for _, size := range []int{2, runtime.NumCPU(), 4} {
+			if tried[size] {
+				continue
+			}
+			tried[size] = true
+			par.SetWorkers(size)
+			got := MCMC(context.Background(), g, topo, est, initials, opts)
+			if got.BestCost != ref.BestCost || !got.Best.Equal(ref.Best) {
+				t.Errorf("batch=%d pool=%d: Best/BestCost %v differ from pool=1 %v", batch, size, got.BestCost, ref.BestCost)
+			}
+			if got.Iters != ref.Iters || got.Accepted != ref.Accepted {
+				t.Errorf("batch=%d pool=%d: Iters/Accepted %d/%d != pool=1 %d/%d",
+					batch, size, got.Iters, got.Accepted, ref.Iters, ref.Accepted)
+			}
+			if got.SimStats != ref.SimStats {
+				t.Errorf("batch=%d pool=%d: SimStats %+v != pool=1 %+v", batch, size, got.SimStats, ref.SimStats)
+			}
+			if len(got.Trace) != len(ref.Trace) {
+				t.Errorf("batch=%d pool=%d: trace length %d != pool=1 %d", batch, size, len(got.Trace), len(ref.Trace))
+				continue
+			}
+			for i := range ref.Trace {
+				if got.Trace[i] != ref.Trace[i] {
+					t.Errorf("batch=%d pool=%d: trace[%d] = %+v != pool=1 %+v", batch, size, i, got.Trace[i], ref.Trace[i])
+					break
+				}
 			}
 		}
 	}

@@ -636,32 +636,33 @@ func (s *State) Timeline(resource int) []*taskgraph.Task {
 // ignoring resource contention — a lower bound any correct schedule must
 // respect (used by invariant tests).
 func CriticalPathLowerBound(tg *taskgraph.TaskGraph) time.Duration {
-	longest := make(map[int]time.Duration, len(tg.Tasks))
+	a := tg.Adj()
+	longest := make([]time.Duration, len(a.ID))
+	seen := make([]bool, len(a.ID))
 	var best time.Duration
 	// Tasks were created in topological order of the DAG? Not
-	// necessarily across ReplaceConfig calls, so iterate to fixpoint
-	// over a DFS instead.
-	var visit func(t *taskgraph.Task) time.Duration
-	visit = func(t *taskgraph.Task) time.Duration {
-		if d, ok := longest[t.ID]; ok {
-			return d
+	// necessarily across ReplaceConfig calls, so DFS over the
+	// adjacency rows instead.
+	var visit func(slot int32) time.Duration
+	visit = func(slot int32) time.Duration {
+		if seen[slot] {
+			return longest[slot]
 		}
-		longest[t.ID] = 0 // cycle guard; task graphs are DAGs
+		seen[slot] = true // cycle guard; task graphs are DAGs
 		var in time.Duration
-		for _, p := range t.In {
+		for _, p := range a.In[slot] {
 			if d := visit(p); d > in {
 				in = d
 			}
 		}
-		d := in + t.Exe
-		longest[t.ID] = d
-		return d
+		longest[slot] = in + a.Exe[slot]
+		return longest[slot]
 	}
-	for _, t := range tg.Tasks {
-		if t.Dead {
+	for slot := range a.ID {
+		if a.ID[slot] < 0 {
 			continue
 		}
-		if d := visit(t); d > best {
+		if d := visit(int32(slot)); d > best {
 			best = d
 		}
 	}
@@ -674,7 +675,7 @@ func CriticalPathLowerBound(tg *taskgraph.TaskGraph) time.Duration {
 func SerialUpperBound(tg *taskgraph.TaskGraph) time.Duration {
 	var sum time.Duration
 	for _, t := range tg.Tasks {
-		if !t.Dead {
+		if tg.Live(t) {
 			sum += t.Exe
 		}
 	}

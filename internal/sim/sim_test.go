@@ -281,7 +281,7 @@ func TestDeltaTimelineIdentical(t *testing.T) {
 	type times struct{ r, s, e time.Duration }
 	snap := map[string]times{}
 	for _, task := range tg.Tasks {
-		if !task.Dead {
+		if tg.Live(task) {
 			r, s, e := st.Times(task)
 			snap[task.String()] = times{r, s, e}
 		}
@@ -289,7 +289,7 @@ func TestDeltaTimelineIdentical(t *testing.T) {
 	// Full re-simulation of the same graph must reproduce them.
 	st.Simulate()
 	for _, task := range tg.Tasks {
-		if task.Dead {
+		if !tg.Live(task) {
 			continue
 		}
 		want := snap[task.String()]
@@ -387,11 +387,11 @@ func TestDependencyOrderRespected(t *testing.T) {
 	tg, st := buildStrategySim(t, g, topo, config.Expert(g, topo))
 	st.Simulate()
 	for _, task := range tg.Tasks {
-		if task.Dead {
+		if !tg.Live(task) {
 			continue
 		}
 		_, start, _ := st.Times(task)
-		for _, p := range task.In {
+		for _, p := range tg.Preds(task) {
 			_, _, pEnd := st.Times(p)
 			if start < pEnd {
 				t.Fatalf("task %v starts at %v before predecessor %v ends at %v",

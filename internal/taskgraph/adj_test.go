@@ -18,16 +18,23 @@ func sortedRow(row []int32) []int32 {
 	return out
 }
 
-// checkAdjMirrors asserts that the flat adjacency view agrees with the
-// Task pointer lists: same live slots, same cached scalars, and the
-// same In/Out neighbour multisets per slot.
-func checkAdjMirrors(t *testing.T, tg *TaskGraph) {
+// checkAdjInvariants asserts the CSR view's internal invariants — the
+// contract the simulator's hot path depends on now that the view is
+// the only adjacency representation:
+//
+//   - the slot table and tg.Tasks agree on the live set, and cached
+//     scalars (Exe, Key, Task back-pointer) match the task;
+//   - free slots hold no ID, no task and empty rows;
+//   - rows reference live slots only;
+//   - In/Out are symmetric with multiplicity: edge (p,s) appears in
+//     Out[p] exactly as often as in In[s].
+func checkAdjInvariants(t *testing.T, tg *TaskGraph) {
 	t.Helper()
 	a := tg.Adj()
 	numDevices := tg.Topo.NumDevices()
 	live := map[int]*Task{}
 	for _, task := range tg.Tasks {
-		if !task.Dead {
+		if tg.Live(task) {
 			live[task.Slot] = task
 		}
 	}
@@ -36,6 +43,9 @@ func checkAdjMirrors(t *testing.T, tg *TaskGraph) {
 		if task == nil {
 			if id != -1 || a.Task[slot] != nil {
 				t.Fatalf("slot %d: free slot holds id %d task %v", slot, id, a.Task[slot])
+			}
+			if len(a.In[slot]) != 0 || len(a.Out[slot]) != 0 {
+				t.Fatalf("slot %d: free slot has non-empty rows In=%v Out=%v", slot, a.In[slot], a.Out[slot])
 			}
 			continue
 		}
@@ -48,51 +58,111 @@ func checkAdjMirrors(t *testing.T, tg *TaskGraph) {
 		if want := int32(task.ScheduleKey(numDevices)); a.Key[slot] != want {
 			t.Fatalf("slot %d: adj key %d != schedule key %d", slot, a.Key[slot], want)
 		}
-		wantIn := make([]int32, len(task.In))
-		for i, p := range task.In {
-			wantIn[i] = int32(p.Slot)
-		}
-		wantOut := make([]int32, len(task.Out))
-		for i, s := range task.Out {
-			wantOut[i] = int32(s.Slot)
-		}
-		gotIn, gotOut := sortedRow(a.In[slot]), sortedRow(a.Out[slot])
-		sort.Slice(wantIn, func(i, j int) bool { return wantIn[i] < wantIn[j] })
-		sort.Slice(wantOut, func(i, j int) bool { return wantOut[i] < wantOut[j] })
-		for i := range wantIn {
-			if len(gotIn) != len(wantIn) || gotIn[i] != wantIn[i] {
-				t.Fatalf("slot %d: adj In %v != task In slots %v", slot, gotIn, wantIn)
+		for _, ps := range a.In[slot] {
+			if a.ID[ps] < 0 {
+				t.Fatalf("slot %d: In row references free slot %d", slot, ps)
 			}
 		}
-		for i := range wantOut {
-			if len(gotOut) != len(wantOut) || gotOut[i] != wantOut[i] {
-				t.Fatalf("slot %d: adj Out %v != task Out slots %v", slot, gotOut, wantOut)
+		for _, ss := range a.Out[slot] {
+			if a.ID[ss] < 0 {
+				t.Fatalf("slot %d: Out row references free slot %d", slot, ss)
 			}
 		}
-		if len(gotIn) != len(wantIn) || len(gotOut) != len(wantOut) {
-			t.Fatalf("slot %d: row sizes In %d/%d Out %d/%d", slot, len(gotIn), len(wantIn), len(gotOut), len(wantOut))
+	}
+	type edge struct{ from, to int32 }
+	count := map[edge]int{}
+	for slot := range a.Out {
+		for _, ss := range a.Out[slot] {
+			count[edge{int32(slot), ss}]++
+		}
+	}
+	for slot := range a.In {
+		for _, ps := range a.In[slot] {
+			count[edge{ps, int32(slot)}]--
+		}
+	}
+	for e, c := range count {
+		if c != 0 {
+			t.Fatalf("edge %d->%d: Out/In multiplicity mismatch %+d", e.from, e.to, c)
 		}
 	}
 }
 
-// TestAdjMirrorsPointerGraph drives random ReplaceConfig sequences and
-// checks after every mutation that the incrementally maintained flat
-// adjacency never drifts from the Task pointer graph — the invariant
-// the simulator's CSR hot path depends on.
-func TestAdjMirrorsPointerGraph(t *testing.T) {
+// checkGraphsIdentical asserts two graphs describe the same task
+// structure: same live slots with the same IDs and cached scalars, and
+// the same In/Out neighbour multisets per slot (rows are unordered, so
+// element order may differ).
+func checkGraphsIdentical(t *testing.T, x, y *TaskGraph) {
+	t.Helper()
+	ax, ay := x.Adj(), y.Adj()
+	if len(ax.ID) != len(ay.ID) {
+		t.Fatalf("slot counts differ: %d vs %d", len(ax.ID), len(ay.ID))
+	}
+	for slot := range ax.ID {
+		if ax.ID[slot] != ay.ID[slot] {
+			t.Fatalf("slot %d: id %d vs %d", slot, ax.ID[slot], ay.ID[slot])
+		}
+		if ax.ID[slot] < 0 {
+			continue
+		}
+		if ax.Exe[slot] != ay.Exe[slot] || ax.Key[slot] != ay.Key[slot] {
+			t.Fatalf("slot %d: exe/key (%v,%d) vs (%v,%d)",
+				slot, ax.Exe[slot], ax.Key[slot], ay.Exe[slot], ay.Key[slot])
+		}
+		in1, in2 := sortedRow(ax.In[slot]), sortedRow(ay.In[slot])
+		out1, out2 := sortedRow(ax.Out[slot]), sortedRow(ay.Out[slot])
+		if len(in1) != len(in2) || len(out1) != len(out2) {
+			t.Fatalf("slot %d: row sizes In %d/%d Out %d/%d", slot, len(in1), len(in2), len(out1), len(out2))
+		}
+		for i := range in1 {
+			if in1[i] != in2[i] {
+				t.Fatalf("slot %d: In rows %v vs %v", slot, in1, in2)
+			}
+		}
+		for i := range out1 {
+			if out1[i] != out2[i] {
+				t.Fatalf("slot %d: Out rows %v vs %v", slot, out1, out2)
+			}
+		}
+	}
+}
+
+// TestAdjInvariantsUnderReplace drives random ReplaceConfig sequences
+// and checks after every mutation that the incrementally maintained
+// flat adjacency keeps its invariants, and that replaying the same
+// sequence on a fresh Build produces an identical structure — the
+// determinism contract the parallel search relies on.
+func TestAdjInvariantsUnderReplace(t *testing.T) {
 	g := mlp()
 	topo := device.NewSingleNode(4, "P100")
-	tg := Build(g, topo, config.DataParallel(g, topo), perfmodel.NewAnalyticModel(), Options{})
-	checkAdjMirrors(t, tg)
+	est := perfmodel.NewAnalyticModel()
+	tg := Build(g, topo, config.DataParallel(g, topo), est, Options{})
+	checkAdjInvariants(t, tg)
 
 	rng := rand.New(rand.NewSource(11))
 	ops := g.ComputeOps()
-	for step := 0; step < 30; step++ {
+	type step struct {
+		opID int
+		cfg  *config.Config
+	}
+	var steps []step
+	for i := 0; i < 30; i++ {
 		op := ops[rng.Intn(len(ops))]
-		tg.ReplaceConfig(op.ID, config.RandomConfig(op, topo, rng))
-		checkAdjMirrors(t, tg)
+		cfg := config.RandomConfig(op, topo, rng)
+		steps = append(steps, step{op.ID, cfg})
+		tg.ReplaceConfig(op.ID, cfg.Clone())
+		checkAdjInvariants(t, tg)
 	}
 
-	// Cloning must preserve the view too (clone() repacks it).
-	checkAdjMirrors(t, tg.clone())
+	// Replay differential: a fresh Build absorbing the same sequence
+	// must land on the identical structure (IDs, slots, rows).
+	replay := Build(g, topo, config.DataParallel(g, topo), est, Options{})
+	for _, s := range steps {
+		replay.ReplaceConfig(s.opID, s.cfg.Clone())
+	}
+	checkGraphsIdentical(t, tg, replay)
+
+	// A copy-on-write clone must present the same view.
+	checkAdjInvariants(t, tg.clone())
+	checkGraphsIdentical(t, tg, tg.clone())
 }

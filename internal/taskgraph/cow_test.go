@@ -1,0 +1,160 @@
+package taskgraph
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"flexflow/internal/config"
+	"flexflow/internal/device"
+	"flexflow/internal/models"
+	"flexflow/internal/perfmodel"
+)
+
+// adjSnapshot deep-copies a graph's adjacency view, element order
+// included, so later comparisons detect any write-through into shared
+// backing.
+func adjSnapshot(tg *TaskGraph) *Adj {
+	a := tg.Adj()
+	s := &Adj{
+		ID:   append([]int32(nil), a.ID...),
+		Exe:  append([]time.Duration(nil), a.Exe...),
+		Key:  append([]int32(nil), a.Key...),
+		Task: append([]*Task(nil), a.Task...),
+		In:   make([][]int32, len(a.In)),
+		Out:  make([][]int32, len(a.Out)),
+	}
+	for i, row := range a.In {
+		s.In[i] = append([]int32(nil), row...)
+	}
+	for i, row := range a.Out {
+		s.Out[i] = append([]int32(nil), row...)
+	}
+	return s
+}
+
+// TestCowLazyMatchesEager pins the copy-on-write fault path
+// bit-identical against the eager-copy path: two instances of the same
+// plan, one faulting every row up front (materializeAll — the old
+// Instance behaviour), one faulting lazily per mutated row, must stay
+// structurally identical through an arbitrary ReplaceConfig sequence.
+func TestCowLazyMatchesEager(t *testing.T) {
+	g := mlp()
+	topo := device.NewSingleNode(4, "P100")
+	plan := Compile(g, topo, config.DataParallel(g, topo), perfmodel.NewAnalyticModel(), Options{})
+	ops := g.ComputeOps()
+
+	lazy, eager := plan.Instance(), plan.Instance()
+	eager.materializeAll()
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 25; i++ {
+		op := ops[rng.Intn(len(ops))]
+		cfg := config.RandomConfig(op, topo, rng)
+		lazy.ReplaceConfig(op.ID, cfg.Clone())
+		eager.ReplaceConfig(op.ID, cfg.Clone())
+		checkAdjInvariants(t, lazy)
+		checkGraphsIdentical(t, lazy, eager)
+	}
+}
+
+// TestCowBaseUntouched: a heavily mutated instance must leave the
+// frozen base's adjacency bit-identical — element order included, not
+// just as multisets — and an untouched sibling instance keeps
+// presenting the base's exact view.
+func TestCowBaseUntouched(t *testing.T) {
+	g := mlp()
+	topo := device.NewSingleNode(4, "P100")
+	plan := Compile(g, topo, config.DataParallel(g, topo), perfmodel.NewAnalyticModel(), Options{})
+	before := adjSnapshot(plan.Base())
+	sibling := plan.Instance()
+
+	inst := plan.Instance()
+	rng := rand.New(rand.NewSource(43))
+	ops := g.ComputeOps()
+	for i := 0; i < 30; i++ {
+		op := ops[rng.Intn(len(ops))]
+		inst.ReplaceConfig(op.ID, config.RandomConfig(op, topo, rng))
+	}
+	inst.Compact()
+
+	for _, view := range []*TaskGraph{plan.Base(), sibling} {
+		a := view.Adj()
+		if len(a.ID) != len(before.ID) {
+			t.Fatalf("base slot count changed: %d vs %d", len(a.ID), len(before.ID))
+		}
+		for slot := range before.ID {
+			if a.ID[slot] != before.ID[slot] || a.Exe[slot] != before.Exe[slot] ||
+				a.Key[slot] != before.Key[slot] || a.Task[slot] != before.Task[slot] {
+				t.Fatalf("slot %d scalars changed under instance mutation", slot)
+			}
+			for j := range before.In[slot] {
+				if a.In[slot][j] != before.In[slot][j] {
+					t.Fatalf("slot %d In[%d] changed: %d vs %d", slot, j, a.In[slot][j], before.In[slot][j])
+				}
+			}
+			for j := range before.Out[slot] {
+				if a.Out[slot][j] != before.Out[slot][j] {
+					t.Fatalf("slot %d Out[%d] changed: %d vs %d", slot, j, a.Out[slot][j], before.Out[slot][j])
+				}
+			}
+			if len(a.In[slot]) != len(before.In[slot]) || len(a.Out[slot]) != len(before.Out[slot]) {
+				t.Fatalf("slot %d row sizes changed", slot)
+			}
+		}
+	}
+}
+
+// TestAdjScaleFuzz interleaves instance creation, ReplaceConfig (with
+// its swap-remove row scrubbing), slot recycling and compaction on a
+// multi-thousand-task synthetic graph, checking the CSR invariants
+// after every step and the shared-backing isolation at the end. This
+// is the at-scale companion to TestAdjInvariantsUnderReplace.
+func TestAdjScaleFuzz(t *testing.T) {
+	spec, err := models.Get("synth-2k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := spec.BuildScaled(4)
+	topo := device.NewSingleNode(4, "P100")
+	plan := Compile(g, topo, config.DataParallel(g, topo), perfmodel.NewAnalyticModel(), Options{})
+	if alive := plan.NumTasks(); alive < 1500 {
+		t.Fatalf("scale fuzz graph too small: %d tasks", alive)
+	}
+	before := adjSnapshot(plan.Base())
+
+	rng := rand.New(rand.NewSource(47))
+	ops := g.ComputeOps()
+	steps := 60
+	if testing.Short() {
+		steps = 15
+	}
+	inst := plan.Instance()
+	for i := 0; i < steps; i++ {
+		op := ops[rng.Intn(len(ops))]
+		inst.ReplaceConfig(op.ID, config.RandomConfig(op, topo, rng))
+		if i%20 == 19 {
+			inst.Compact()
+		}
+		checkAdjInvariants(t, inst)
+	}
+
+	// The base backing the instance shared from must be untouched.
+	base := plan.Base().Adj()
+	for slot := range before.ID {
+		if base.ID[slot] != before.ID[slot] {
+			t.Fatalf("slot %d: base ID mutated", slot)
+		}
+		for j := range before.In[slot] {
+			if base.In[slot][j] != before.In[slot][j] {
+				t.Fatalf("slot %d: base In row mutated", slot)
+			}
+		}
+		for j := range before.Out[slot] {
+			if base.Out[slot][j] != before.Out[slot][j] {
+				t.Fatalf("slot %d: base Out row mutated", slot)
+			}
+		}
+	}
+	// And a fresh instance still sees the original structure.
+	checkGraphsIdentical(t, plan.Base(), plan.Instance())
+}

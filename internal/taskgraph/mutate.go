@@ -26,6 +26,9 @@ func (tg *TaskGraph) ReplaceConfig(opID int, c *config.Config) ChangeSet {
 	if tg.frozen {
 		panic("taskgraph: ReplaceConfig on a frozen Plan graph; mutate a Plan.Instance() instead")
 	}
+	// Copy-on-write fault: privatize shared containers before the first
+	// structural write (no-op on a graph that already owns them).
+	tg.materialize()
 	op := tg.G.Op(opID)
 	if op.Kind == graph.Input {
 		panic("taskgraph: ReplaceConfig on an Input op")
@@ -65,29 +68,35 @@ func (tg *TaskGraph) ReplaceConfig(opID int, c *config.Config) ChangeSet {
 	// which free slots the rebuilt tasks reuse (and cs.Removed's order),
 	// and Plan.Instance guarantees that two instances applying the same
 	// ReplaceConfig sequence assign identical slots.
+	//
+	// The unlink runs in two phases over the adjacency rows: first scrub
+	// the doomed slots out of every survivor's row, then free the doomed
+	// slots. Scrubbing reads a.ID to tell survivors from doomed
+	// neighbours, so no slot may be freed (ID reset to -1) until every
+	// row walk is done.
 	doomedIDs := make([]int, 0, len(doomed))
 	for id := range doomed {
 		doomedIDs = append(doomedIDs, id)
 	}
 	sort.Ints(doomedIDs)
+	a := &tg.adj
 	for _, id := range doomedIDs {
 		t := doomed[id]
-		for _, p := range t.In {
-			if doomed[p.ID] == nil {
-				p.Out = removeTask(p.Out, t)
-				tg.adj.Out[p.Slot] = removeSlot(tg.adj.Out[p.Slot], int32(t.Slot))
+		for _, ps := range a.In[t.Slot] {
+			if doomed[int(a.ID[ps])] == nil {
+				a.removeOut(int(ps), int32(t.Slot))
 			}
 		}
-		for _, s := range t.Out {
-			if doomed[s.ID] == nil {
-				s.In = removeTask(s.In, t)
-				tg.adj.In[s.Slot] = removeSlot(tg.adj.In[s.Slot], int32(t.Slot))
-				touched[s.ID] = s
+		for _, ss := range a.Out[t.Slot] {
+			if doomed[int(a.ID[ss])] == nil {
+				a.removeIn(int(ss), int32(t.Slot))
+				touched[int(a.ID[ss])] = a.Task[ss]
 			}
 		}
-		t.Dead = true
-		t.In, t.Out = nil, nil
-		tg.adj.noteDead(t)
+	}
+	for _, id := range doomedIDs {
+		t := doomed[id]
+		a.noteDead(t)
 		// Recycle the slot: tasks added below (or by later calls) reuse
 		// it. The attached simulator state may still read the dead
 		// task's slot entries until its next ApplyDelta — which is safe
@@ -113,14 +122,14 @@ func (tg *TaskGraph) ReplaceConfig(opID int, c *config.Config) ChangeSet {
 	// Neighbour tasks gained new in-edges during the rebuild: any
 	// survivor that now has an added task among its inputs.
 	for _, t := range cs.Added {
-		for _, s := range t.Out {
-			if s.ID < firstNew {
-				touched[s.ID] = s
+		for _, ss := range a.Out[t.Slot] {
+			if int(a.ID[ss]) < firstNew {
+				touched[int(a.ID[ss])] = a.Task[ss]
 			}
 		}
 	}
 	for _, t := range touched {
-		if !t.Dead {
+		if tg.Live(t) {
 			cs.Touched = append(cs.Touched, t)
 		}
 	}
@@ -133,13 +142,17 @@ func (tg *TaskGraph) ReplaceConfig(opID int, c *config.Config) ChangeSet {
 
 // Compact drops dead tasks from the task list (IDs are preserved; they
 // are unique, not dense). Slots were already recycled at removal time.
+// The filtered list is freshly allocated: a copy-on-write instance's
+// Tasks may alias the frozen base's backing, which must not be
+// scribbled on.
 func (tg *TaskGraph) Compact() {
 	if tg.frozen {
 		panic("taskgraph: Compact on a frozen Plan graph")
 	}
-	alive := tg.Tasks[:0]
+	tg.materialize()
+	alive := make([]*Task, 0, len(tg.Tasks)-tg.numDead)
 	for _, t := range tg.Tasks {
-		if !t.Dead {
+		if tg.Live(t) {
 			alive = append(alive, t)
 		}
 	}
@@ -155,15 +168,6 @@ func (tg *TaskGraph) ForwardTasks(opID int) []*Task { return tg.fwd[opID] }
 
 // BackwardTasks returns the live backward compute tasks of an op.
 func (tg *TaskGraph) BackwardTasks(opID int) []*Task { return tg.bwd[opID] }
-
-func removeTask(ts []*Task, victim *Task) []*Task {
-	for i, t := range ts {
-		if t == victim {
-			return append(ts[:i], ts[i+1:]...)
-		}
-	}
-	return ts
-}
 
 // Metrics aggregates per-strategy statistics: the quantities behind
 // Figure 8 (total data transfers and total task computation time per
@@ -186,7 +190,7 @@ func (tg *TaskGraph) Metrics() Metrics {
 	var m Metrics
 	perDev := map[int]int{}
 	for _, t := range tg.Tasks {
-		if t.Dead {
+		if !tg.Live(t) {
 			continue
 		}
 		m.NumTasks++

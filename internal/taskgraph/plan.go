@@ -50,118 +50,97 @@ func (p *Plan) Strategy() *config.Strategy { return p.base.Strat.Clone() }
 // NumTasks returns the number of live tasks in the plan.
 func (p *Plan) NumTasks() int { return p.base.Alive() }
 
-// Instance returns a mutable copy of the plan's task graph, owned by
-// the caller. Task IDs, slots and creation order are preserved, so two
-// instances applying the same ReplaceConfig sequence stay bit-identical
-// — the property the parallel Neighborhood sweep relies on.
+// Instance returns a mutable copy-on-write view of the plan's task
+// graph, owned by the caller. Task IDs, slots and creation order are
+// preserved, so two instances applying the same ReplaceConfig sequence
+// stay bit-identical — the property the parallel Neighborhood sweep
+// relies on. Creation is near-O(1): tasks are immutable and shared by
+// pointer, and the adjacency arrays alias the frozen base until the
+// instance's first mutation faults them private (see clone and
+// TaskGraph.materialize).
 func (p *Plan) Instance() *TaskGraph { return p.base.clone() }
 
-// clone deep-copies the task graph structure without re-running the
-// builder: tasks land in one contiguous arena and adjacency lists in
-// one backing array, so the whole copy is a handful of allocations
-// instead of Build's per-task estimator/route/region work.
+// clone creates a copy-on-write view of a frozen graph: every slice,
+// map and Task pointer is shared verbatim with the base, and the
+// result is flagged shared so the first structural mutation
+// (ReplaceConfig, Compact) privatizes the mutable arrays via
+// materialize. Tasks is cut with its capacity pinned to its length so
+// the instance's first task append reallocates instead of writing the
+// base's spare capacity. Sharing is safe because tasks are immutable,
+// the base is frozen (never written), and reindex pinned every
+// adjacency row's capacity to its length.
 func (tg *TaskGraph) clone() *TaskGraph {
-	out := &TaskGraph{
-		G: tg.G, Topo: tg.Topo, Est: tg.Est, Opts: tg.Opts,
+	return &TaskGraph{
+		G: tg.G, Topo: tg.Topo, Strat: tg.Strat, Est: tg.Est, Opts: tg.Opts,
+		Tasks:     tg.Tasks[:len(tg.Tasks):len(tg.Tasks)],
 		nextID:    tg.nextID,
 		numDead:   tg.numDead,
 		numSlots:  tg.numSlots,
-		freeSlots: append([]int(nil), tg.freeSlots...),
-		edgeComm:  make(map[[2]int][]*Task, len(tg.edgeComm)),
+		freeSlots: tg.freeSlots,
+		fwd:       tg.fwd,
+		bwd:       tg.bwd,
+		extras:    tg.extras,
+		edgeComm:  tg.edgeComm,
+		adj:       tg.adj,
+		shared:    true,
 	}
+}
+
+// materialize privatizes a shared instance's mutable containers — the
+// strategy, the slot free list, the per-op task groups, and the
+// adjacency's slot-indexed arrays and row headers. Row *contents* are
+// not copied here; they fault individually on first in-place write
+// (Adj.removeIn/removeOut/resetRows). ReplaceConfig and Compact call
+// this on entry, so a never-mutated instance costs a handful of words.
+func (tg *TaskGraph) materialize() {
+	if !tg.shared {
+		return
+	}
+	tg.shared = false
 	if tg.Strat != nil {
-		out.Strat = tg.Strat.Clone()
+		tg.Strat = tg.Strat.Clone()
 	}
+	// freeSlots must be deep-copied, not capacity-pinned: the allocator
+	// pops then pushes, and a push after a pop would overwrite backing
+	// the base still reads.
+	tg.freeSlots = append([]int(nil), tg.freeSlots...)
+	tg.fwd = append([][]*Task(nil), tg.fwd...)
+	tg.bwd = append([][]*Task(nil), tg.bwd...)
+	tg.extras = append([][]*Task(nil), tg.extras...)
+	ec := make(map[[2]int][]*Task, len(tg.edgeComm))
+	for k, v := range tg.edgeComm {
+		ec[k] = v
+	}
+	tg.edgeComm = ec
+	a := &tg.adj
+	a.ID = append([]int32(nil), a.ID...)
+	a.Exe = append([]time.Duration(nil), a.Exe...)
+	a.Key = append([]int32(nil), a.Key...)
+	a.Task = append([]*Task(nil), a.Task...)
+	a.In = append([][]int32(nil), a.In...)
+	a.Out = append([][]int32(nil), a.Out...)
+	a.inOwned = make([]bool, len(a.In))
+	a.outOwned = make([]bool, len(a.Out))
+}
 
-	arena := make([]Task, len(tg.Tasks))
-	remap := make(map[*Task]*Task, len(tg.Tasks))
-	out.Tasks = make([]*Task, len(tg.Tasks))
-	for i, t := range tg.Tasks {
-		arena[i] = *t
-		out.Tasks[i] = &arena[i]
-		remap[t] = &arena[i]
+// materializeAll is materialize plus an eager fault of every adjacency
+// row — the old eager-copy Instance behaviour. It exists as a test
+// hook: differential tests pin the lazy per-row fault path
+// bit-identical against it.
+func (tg *TaskGraph) materializeAll() {
+	tg.materialize()
+	a := &tg.adj
+	if a.inOwned == nil {
+		return // graph already owned every row (fresh Build)
 	}
-	// Adjacency lists share one backing array. Each slice is cut with
-	// its capacity pinned to its length, so a later append (ReplaceConfig
-	// rewiring a survivor) reallocates instead of clobbering the next
-	// task's list.
-	total := 0
-	for _, t := range tg.Tasks {
-		total += len(t.In) + len(t.Out)
-	}
-	backing := make([]*Task, 0, total)
-	for i, t := range tg.Tasks {
-		nt := out.Tasks[i]
-		lo := len(backing)
-		for _, p := range t.In {
-			backing = append(backing, remap[p])
+	for slot := range a.In {
+		if !a.inOwned[slot] {
+			a.In[slot] = append(make([]int32, 0, len(a.In[slot])), a.In[slot]...)
+			a.inOwned[slot] = true
 		}
-		nt.In = backing[lo:len(backing):len(backing)]
-		lo = len(backing)
-		for _, s := range t.Out {
-			backing = append(backing, remap[s])
-		}
-		nt.Out = backing[lo:len(backing):len(backing)]
-	}
-
-	remapList := func(ts []*Task) []*Task {
-		if ts == nil {
-			return nil
-		}
-		o := make([]*Task, len(ts))
-		for i, t := range ts {
-			o[i] = remap[t]
-		}
-		return o
-	}
-	out.fwd = make([][]*Task, len(tg.fwd))
-	for i, ts := range tg.fwd {
-		out.fwd[i] = remapList(ts)
-	}
-	out.bwd = make([][]*Task, len(tg.bwd))
-	for i, ts := range tg.bwd {
-		out.bwd[i] = remapList(ts)
-	}
-	out.extras = make([][]*Task, len(tg.extras))
-	for i, ts := range tg.extras {
-		out.extras[i] = remapList(ts)
-	}
-	for k, ts := range tg.edgeComm {
-		out.edgeComm[k] = remapList(ts)
-	}
-	// The flat adjacency view copies verbatim — the clone preserves
-	// slots, so every row is identical; only the Task back-pointers
-	// remap into the new arena.
-	oa, na := &tg.adj, &out.adj
-	na.ID = append([]int32(nil), oa.ID...)
-	na.Exe = append([]time.Duration(nil), oa.Exe...)
-	na.Key = append([]int32(nil), oa.Key...)
-	na.Task = make([]*Task, len(oa.Task))
-	for i, t := range tg.Tasks {
-		if !t.Dead {
-			na.Task[t.Slot] = out.Tasks[i]
+		if !a.outOwned[slot] {
+			a.Out[slot] = append(make([]int32, 0, len(a.Out[slot])), a.Out[slot]...)
+			a.outOwned[slot] = true
 		}
 	}
-	rows := 0
-	for _, row := range oa.In {
-		rows += len(row)
-	}
-	for _, row := range oa.Out {
-		rows += len(row)
-	}
-	// One backing array, rows capacity-pinned like reindex's.
-	flat := make([]int32, 0, rows)
-	na.In = make([][]int32, len(oa.In))
-	na.Out = make([][]int32, len(oa.Out))
-	for i, row := range oa.In {
-		lo := len(flat)
-		flat = append(flat, row...)
-		na.In[i] = flat[lo:len(flat):len(flat)]
-	}
-	for i, row := range oa.Out {
-		lo := len(flat)
-		flat = append(flat, row...)
-		na.Out[i] = flat[lo:len(flat):len(flat)]
-	}
-	return out
 }

@@ -34,15 +34,15 @@ func TestTaskGraphStructureProperty(t *testing.T) {
 
 		var fwdComm, bwdComm int64
 		for _, task := range tg.Tasks {
-			// In/Out symmetry.
-			for _, p := range task.In {
-				if !contains(p.Out, task) {
+			// In/Out symmetry over the adjacency rows.
+			for _, p := range tg.Preds(task) {
+				if !contains(tg.Succs(p), task) {
 					t.Logf("asymmetric edge into %v", task)
 					return false
 				}
 			}
-			for _, n := range task.Out {
-				if !contains(n.In, task) {
+			for _, n := range tg.Succs(task) {
+				if !contains(tg.Preds(n), task) {
 					t.Logf("asymmetric edge out of %v", task)
 					return false
 				}

@@ -51,10 +51,13 @@ func (k TaskKind) String() string {
 	}
 }
 
-// Task is a node of the task graph. Tasks are structurally immutable
-// once built: all simulation timing lives in sim.State's slot-indexed
-// arrays (see the Slot field), never in the task itself, so a frozen
-// graph (Plan) can be read by any number of concurrent simulations.
+// Task is a node of the task graph. Tasks are immutable once built:
+// adjacency lives in the graph's slot-indexed CSR view (Adj), all
+// simulation timing lives in sim.State's slot-indexed arrays (see the
+// Slot field), and liveness is derived from the Adj slot table — never
+// stored in the task itself. A Task struct is therefore shared freely:
+// between a frozen Plan base and every copy-on-write Instance, and
+// between concurrent simulations.
 type Task struct {
 	ID int
 	// Slot indexes the simulator's per-task state arrays. Unlike IDs
@@ -81,12 +84,9 @@ type Task struct {
 	// transfers); Figure 8b and the Figure 13 discussion separate them.
 	Sync bool
 
-	In, Out []*Task
-
-	// Dead marks tasks removed by ReplaceConfig; they are skipped by the
-	// simulator and compacted lazily. A dead task's Slot may already
-	// belong to a newer task.
-	Dead bool
+	// staged holds successors wired by Connect before Manual assigns
+	// slots; Manual moves them into the Adj rows and clears the field.
+	staged []*Task
 }
 
 // String renders the task with its id, kind, pass, op, device and
@@ -111,23 +111,24 @@ func (t *Task) ScheduleKey(numDevices int) int {
 }
 
 // Adj is the slot-indexed, CSR-style flat view of the live task
-// structure — the representation the simulator's hot loops traverse
-// instead of chasing Task pointers. Every array is indexed by
-// Task.Slot, and the adjacency rows hold predecessor/successor slots
-// as contiguous int32s, so recomputing a ready time or releasing
-// successors touches a handful of dense cache lines rather than one
-// scattered Task struct per edge.
+// structure — the authoritative adjacency representation (tasks carry
+// no pointer lists) and the one the simulator's hot loops traverse.
+// Every array is indexed by Task.Slot, and the adjacency rows hold
+// predecessor/successor slots as contiguous int32s, so recomputing a
+// ready time or releasing successors touches a handful of dense cache
+// lines rather than one scattered Task struct per edge.
 //
 // Invariants, maintained incrementally by the builder and
-// ReplaceConfig and packed contiguously by Build/Manual/clone:
+// ReplaceConfig and packed contiguously by Build/Manual:
 //
 //   - ID[slot] is the live task's ID at that slot, or -1 while the
 //     slot is free. Because IDs are unique forever and slots are
 //     recycled, comparing a remembered (slot, id) pair against
-//     ID[slot] is an O(1) is-this-task-still-alive test.
+//     ID[slot] is an O(1) is-this-task-still-alive test — and the
+//     only liveness record there is (see TaskGraph.Live).
 //   - In[slot]/Out[slot] reference live slots only: removing a task
 //     scrubs it from every surviving neighbour's row before its slot
-//     is freed, so traversals never need a Dead check.
+//     is freed, so traversals never need a dead check.
 //   - Exe[slot] and Key[slot] cache the task's execution time and
 //     schedule resource (device, or numDevices+link for Comm tasks).
 //   - Task[slot] maps back to the owning *Task for API boundaries
@@ -136,6 +137,18 @@ func (t *Task) ScheduleKey(numDevices int) int {
 // The view is owned by its TaskGraph: read-only for everyone else,
 // safe for concurrent readers on a frozen Plan base, private to the
 // owning goroutine on a mutable Instance.
+//
+// # Copy-on-write
+//
+// A Plan.Instance shares the frozen base's arrays and row backing
+// verbatim (see TaskGraph.clone); the first ReplaceConfig privatizes
+// the slot-indexed arrays and row headers (TaskGraph.materialize) and
+// allocates the inOwned/outOwned bitsets. Row *contents* stay shared
+// until a mutation touches them: in-place writes (removeIn/removeOut,
+// noteDead, noteNew's row reset) fault the row private first, while
+// appends never need a fault because every shared row is cut with its
+// capacity pinned to its length, so append reallocates instead of
+// writing into the shared backing.
 type Adj struct {
 	// In and Out are the per-slot predecessor and successor slot rows.
 	In, Out [][]int32
@@ -147,6 +160,12 @@ type Adj struct {
 	Key []int32
 	// Task maps slots back to live tasks (nil = free slot).
 	Task []*Task
+
+	// inOwned/outOwned, when non-nil, mark rows whose backing is
+	// private to this graph; unmarked rows still alias the frozen base
+	// plan's backing and must be faulted before any in-place write.
+	// Both are nil on a graph that owns every row (a fresh Build).
+	inOwned, outOwned []bool
 }
 
 // noteNew registers a freshly created task, growing the arrays to
@@ -159,13 +178,35 @@ func (a *Adj) noteNew(t *Task, key int) {
 		a.Exe = append(a.Exe, 0)
 		a.Key = append(a.Key, 0)
 		a.Task = append(a.Task, nil)
+		if a.inOwned != nil {
+			// Fresh slots start with nil rows, trivially private.
+			a.inOwned = append(a.inOwned, true)
+			a.outOwned = append(a.outOwned, true)
+		}
 	}
 	a.ID[t.Slot] = int32(t.ID)
 	a.Exe[t.Slot] = t.Exe
 	a.Key[t.Slot] = int32(key)
 	a.Task[t.Slot] = t
-	a.In[t.Slot] = a.In[t.Slot][:0]
-	a.Out[t.Slot] = a.Out[t.Slot][:0]
+	a.resetRows(t.Slot)
+}
+
+// resetRows empties a slot's rows for reuse. Owned rows keep their
+// backing (appends refill it in place); rows still aliasing the base
+// are dropped to nil so future appends allocate privately.
+func (a *Adj) resetRows(slot int) {
+	if a.inOwned != nil && !a.inOwned[slot] {
+		a.In[slot] = nil
+		a.inOwned[slot] = true
+	} else {
+		a.In[slot] = a.In[slot][:0]
+	}
+	if a.outOwned != nil && !a.outOwned[slot] {
+		a.Out[slot] = nil
+		a.outOwned[slot] = true
+	} else {
+		a.Out[slot] = a.Out[slot][:0]
+	}
 }
 
 // noteDead frees a removed task's slot. The caller must already have
@@ -173,13 +214,33 @@ func (a *Adj) noteNew(t *Task, key int) {
 func (a *Adj) noteDead(t *Task) {
 	a.ID[t.Slot] = -1
 	a.Task[t.Slot] = nil
-	a.In[t.Slot] = a.In[t.Slot][:0]
-	a.Out[t.Slot] = a.Out[t.Slot][:0]
+	a.resetRows(t.Slot)
 }
 
-// removeSlot deletes one occurrence of slot from a row. Rows are
-// unordered multisets (ready times are max/count reductions), so the
-// removal swaps with the tail instead of shifting.
+// removeIn deletes one occurrence of victim from slot's In row,
+// faulting the row private first when it still aliases shared backing.
+func (a *Adj) removeIn(slot int, victim int32) {
+	row := a.In[slot]
+	if a.inOwned != nil && !a.inOwned[slot] {
+		row = append(make([]int32, 0, len(row)), row...)
+		a.inOwned[slot] = true
+	}
+	a.In[slot] = removeSlot(row, victim)
+}
+
+// removeOut is removeIn for the Out row.
+func (a *Adj) removeOut(slot int, victim int32) {
+	row := a.Out[slot]
+	if a.outOwned != nil && !a.outOwned[slot] {
+		row = append(make([]int32, 0, len(row)), row...)
+		a.outOwned[slot] = true
+	}
+	a.Out[slot] = removeSlot(row, victim)
+}
+
+// removeSlot deletes one occurrence of slot from a row the caller
+// owns. Rows are unordered multisets (ready times are max/count
+// reductions), so the removal swaps with the tail instead of shifting.
 func removeSlot(row []int32, slot int32) []int32 {
 	for i, s := range row {
 		if s == slot {
@@ -237,11 +298,46 @@ type TaskGraph struct {
 	edgeComm map[[2]int][]*Task
 
 	// adj is the slot-indexed flat structure view the simulator hot
-	// path reads (see Adj). It mirrors the Task.In/Out pointer lists
-	// exactly and is maintained through every ReplaceConfig.
+	// path reads — and the only adjacency representation (see Adj). It
+	// is maintained through every ReplaceConfig.
 	adj Adj
 
+	// shared marks an Instance still aliasing its frozen base Plan's
+	// arrays; the first structural mutation calls materialize to
+	// privatize them (copy-on-write).
+	shared bool
+
 	numDead int
+}
+
+// Live reports whether t is a live member of this graph: the adjacency
+// slot table still maps t's slot to t's ID. Deadness is graph-relative
+// — a task removed by one Instance's ReplaceConfig stays live in the
+// base Plan and in every other instance.
+func (tg *TaskGraph) Live(t *Task) bool {
+	return t.Slot < len(tg.adj.ID) && tg.adj.ID[t.Slot] == int32(t.ID)
+}
+
+// Preds returns t's predecessors in this graph, freshly allocated.
+// It exists for API boundaries and tests; hot paths read the Adj rows
+// directly.
+func (tg *TaskGraph) Preds(t *Task) []*Task {
+	row := tg.adj.In[t.Slot]
+	out := make([]*Task, len(row))
+	for i, s := range row {
+		out[i] = tg.adj.Task[s]
+	}
+	return out
+}
+
+// Succs returns t's successors in this graph, freshly allocated.
+func (tg *TaskGraph) Succs(t *Task) []*Task {
+	row := tg.adj.Out[t.Slot]
+	out := make([]*Task, len(row))
+	for i, s := range row {
+		out[i] = tg.adj.Task[s]
+	}
+	return out
 }
 
 // Adj returns the slot-indexed flat view of the live task structure.
@@ -307,25 +403,19 @@ func (tg *TaskGraph) newTask(t *Task) *Task {
 // needs to cover every live task's Slot.
 func (tg *TaskGraph) NumSlots() int { return tg.numSlots }
 
-func addDep(from, to *Task) {
-	from.Out = append(from.Out, to)
-	to.In = append(to.In, from)
-}
-
-// dep wires a dependency in both representations: the Task pointer
-// lists and the slot-indexed adjacency rows. Every builder edge goes
-// through here so the flat view never drifts from the pointer graph.
+// dep wires a dependency into the slot-indexed adjacency rows — the
+// single adjacency representation. Every builder edge goes through
+// here.
 func (tg *TaskGraph) dep(from, to *Task) {
-	addDep(from, to)
 	tg.adj.Out[from.Slot] = append(tg.adj.Out[from.Slot], int32(to.Slot))
 	tg.adj.In[to.Slot] = append(tg.adj.In[to.Slot], int32(from.Slot))
 }
 
-// Connect adds an ordering dependency between two tasks. It exists for
-// hand-assembled task graphs (tests, worked examples); Build wires
-// dependencies itself. Wire all dependencies before wrapping the tasks
-// with Manual — Manual indexes the structure it is handed.
-func Connect(from, to *Task) { addDep(from, to) }
+// Connect stages an ordering dependency between two tasks. It exists
+// for hand-assembled task graphs (tests, worked examples); Build wires
+// dependencies itself. The edge is recorded on the task and moved into
+// the adjacency rows by Manual, once slots exist.
+func Connect(from, to *Task) { from.staged = append(from.staged, to) }
 
 // Manual wraps hand-assembled tasks into a TaskGraph for direct
 // simulation (e.g. reproducing the worked example of Figure 5). Task IDs
@@ -336,55 +426,48 @@ func Manual(topo *device.Topology, tasks []*Task) *TaskGraph {
 	for _, t := range tasks {
 		tg.newTask(t)
 	}
+	for _, t := range tasks {
+		for _, to := range t.staged {
+			tg.dep(t, to)
+		}
+		t.staged = nil
+	}
 	tg.reindex()
 	return tg
 }
 
-// reindex rebuilds the flat adjacency view from the Task pointer
-// lists, packing every row into one contiguous backing array (the CSR
-// layout the simulator sweeps). Rows are cut with their capacity
-// pinned to their length so a later incremental append (ReplaceConfig
-// rewiring a survivor) reallocates that row instead of clobbering its
-// neighbour.
+// reindex repacks the incrementally grown adjacency rows into one
+// contiguous backing array (the CSR layout the simulator sweeps).
+// Rows are cut with their capacity pinned to their length, which is
+// also what makes copy-on-write sharing safe: a later incremental
+// append (ReplaceConfig rewiring a survivor — in this graph or in an
+// Instance sharing the backing) reallocates that row instead of
+// clobbering its neighbour.
 func (tg *TaskGraph) reindex() {
-	n := tg.numSlots
 	a := &tg.adj
-	a.ID = make([]int32, n)
-	for i := range a.ID {
-		a.ID[i] = -1
-	}
-	a.Exe = make([]time.Duration, n)
-	a.Key = make([]int32, n)
-	a.Task = make([]*Task, n)
-	a.In = make([][]int32, n)
-	a.Out = make([][]int32, n)
-	numDevices := tg.Topo.NumDevices()
 	total := 0
-	for _, t := range tg.Tasks {
-		if !t.Dead {
-			total += len(t.In) + len(t.Out)
+	for slot := 0; slot < tg.numSlots; slot++ {
+		if a.ID[slot] >= 0 {
+			total += len(a.In[slot]) + len(a.Out[slot])
 		}
 	}
 	backing := make([]int32, 0, total)
-	for _, t := range tg.Tasks {
-		if t.Dead {
+	newIn := make([][]int32, tg.numSlots)
+	newOut := make([][]int32, tg.numSlots)
+	for slot := 0; slot < tg.numSlots; slot++ {
+		if a.ID[slot] < 0 {
 			continue
 		}
-		a.ID[t.Slot] = int32(t.ID)
-		a.Exe[t.Slot] = t.Exe
-		a.Key[t.Slot] = int32(t.ScheduleKey(numDevices))
-		a.Task[t.Slot] = t
 		lo := len(backing)
-		for _, p := range t.In {
-			backing = append(backing, int32(p.Slot))
-		}
-		a.In[t.Slot] = backing[lo:len(backing):len(backing)]
+		backing = append(backing, a.In[slot]...)
+		newIn[slot] = backing[lo:len(backing):len(backing)]
 		lo = len(backing)
-		for _, s := range t.Out {
-			backing = append(backing, int32(s.Slot))
-		}
-		a.Out[t.Slot] = backing[lo:len(backing):len(backing)]
+		backing = append(backing, a.Out[slot]...)
+		newOut[slot] = backing[lo:len(backing):len(backing)]
 	}
+	a.In = newIn
+	a.Out = newOut
+	a.inOwned, a.outOwned = nil, nil
 }
 
 // regionOf returns the output region of task index k of op.

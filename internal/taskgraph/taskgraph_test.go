@@ -69,7 +69,7 @@ func TestBuildDataParallelStructure(t *testing.T) {
 	// Forward -> backward dependency per task index.
 	bt := tg.BackwardTasks(fc1.ID)[2]
 	found := false
-	for _, p := range bt.In {
+	for _, p := range tg.Preds(bt) {
 		if p == tg.ForwardTasks(fc1.ID)[2] {
 			found = true
 		}
@@ -172,7 +172,7 @@ func TestStarSyncAblation(t *testing.T) {
 	countSync := func(tg *TaskGraph) int {
 		n := 0
 		for _, task := range tg.Tasks {
-			if !task.Dead && task.Kind == Comm && task.Sync {
+			if tg.Live(task) && task.Kind == Comm && task.Sync {
 				n++
 			}
 		}
@@ -210,22 +210,9 @@ func TestReplaceConfigRewiresEdges(t *testing.T) {
 	if len(cs.Removed) == 0 || len(cs.Added) == 0 {
 		t.Fatalf("changeset = %d removed, %d added", len(cs.Removed), len(cs.Added))
 	}
-	// Graph is self-consistent: no live task references a dead one.
-	for _, task := range tg.Tasks {
-		if task.Dead {
-			continue
-		}
-		for _, p := range task.In {
-			if p.Dead {
-				t.Fatalf("live task %v has dead predecessor %v", task, p)
-			}
-		}
-		for _, n := range task.Out {
-			if n.Dead {
-				t.Fatalf("live task %v has dead successor %v", task, n)
-			}
-		}
-	}
+	// Graph is self-consistent: rows reference live slots only, the
+	// slot table and task list agree.
+	checkAdjInvariants(t, tg)
 	// Rebuilding equals building from scratch.
 	fresh := build(t, g, topo, s.Clone(), Options{})
 	if got, want := tg.Metrics(), fresh.Metrics(); got.CommBytes != want.CommBytes ||
@@ -249,16 +236,7 @@ func TestReplaceConfigCompacts(t *testing.T) {
 	if len(tg.Tasks) > 4*tg.Alive() {
 		t.Fatalf("task slice grew unboundedly: %d entries, %d alive", len(tg.Tasks), tg.Alive())
 	}
-	for _, task := range tg.Tasks {
-		if task.Dead {
-			continue
-		}
-		for _, p := range task.In {
-			if p.Dead {
-				t.Fatal("dead predecessor after compaction")
-			}
-		}
-	}
+	checkAdjInvariants(t, tg)
 }
 
 func TestReplaceConfigPanics(t *testing.T) {
@@ -373,7 +351,7 @@ func TestLSTMRecurrentChainDependencies(t *testing.T) {
 	// l1 task k depends (directly, same device) on l0 task k.
 	for k, task := range tg.ForwardTasks(l1.ID) {
 		dep := false
-		for _, p := range task.In {
+		for _, p := range tg.Preds(task) {
 			if p.Op == l0 && p.Index == k {
 				dep = true
 			}

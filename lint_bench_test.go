@@ -71,3 +71,39 @@ func TestBenchPR6DeltaSimImproves(t *testing.T) {
 		t.Fatalf("%s: current %+v does not improve on baseline %+v", name, cur, base)
 	}
 }
+
+// TestBenchPR8ChainSetupImproves pins the copy-on-write acceptance
+// criterion in the committed artifact: BENCH_pr8.json must show
+// BenchmarkChainSetup/shared-plan allocating at least 5x fewer bytes
+// per op than the pre-CoW baseline recorded in the same file (Instance
+// no longer deep-copies the CSR), and must carry the synthetic
+// >=50k-task scale cases the PR adds to the tracked set.
+func TestBenchPR8ChainSetupImproves(t *testing.T) {
+	f, err := benchjson.Load("BENCH_pr8.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const name = "BenchmarkChainSetup/shared-plan"
+	base, ok := f.Baseline[name]
+	if !ok {
+		t.Fatalf("%s missing from baseline", name)
+	}
+	cur, ok := f.Benchmarks[name]
+	if !ok {
+		t.Fatalf("%s missing from benchmarks", name)
+	}
+	if base.BytesPerOp <= 0 || cur.BytesPerOp <= 0 {
+		t.Fatalf("%s: bytes/op not recorded (baseline %v, current %v) — run with -benchmem", name, base.BytesPerOp, cur.BytesPerOp)
+	}
+	if cur.BytesPerOp*5 > base.BytesPerOp {
+		t.Fatalf("%s: %v B/op is not a >=5x reduction of the baseline %v B/op", name, cur.BytesPerOp, base.BytesPerOp)
+	}
+	for _, scale := range []string{
+		"BenchmarkDeltaSimulation/synth-50k",
+		"BenchmarkProposalThroughputSynth50k",
+	} {
+		if _, ok := f.Benchmarks[scale]; !ok {
+			t.Errorf("%s missing from benchmarks: the >=50k-task scale cases are part of the tracked set", scale)
+		}
+	}
+}
