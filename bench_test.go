@@ -11,6 +11,7 @@ package flexflow
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"testing"
 	"time"
@@ -432,6 +433,45 @@ func benchProposalThroughput(b *testing.B, model string, factor int) {
 	b.StopTimer()
 	if secs := b.Elapsed().Seconds(); secs > 0 {
 		b.ReportMetric(float64(b.N*batch)/secs, "proposals/sec/core")
+	}
+}
+
+// BenchmarkMCMCProposalBatch is the Options.ProposalBatch sweep behind
+// the measured default (search.DefaultProposalBatch): one single-chain
+// delta-mode MCMC walk per op at each batch size, on the small and the
+// 50k-task synthetic class, with the default Beta (so acceptance rates
+// are the realistic search regime, not a degenerate all-reject walk).
+// Each batch size is its own deterministic walk, so ns/op differences
+// are pure batching overhead/benefit: a round's later drafts are priced
+// against the pre-move point and discarded when an earlier draft wins.
+// The sweep is recorded in BENCH_pr9.json; re-run it (docs/EXPERIMENTS
+// .md) before moving the default.
+func BenchmarkMCMCProposalBatch(b *testing.B) {
+	for _, c := range []struct {
+		model  string
+		factor int
+		iters  int
+	}{
+		{"synth-2k", 1, 400},
+		{"synth-50k", 1, 24},
+	} {
+		g := benchGraph(b, c.model, c.factor)
+		topo := device.NewSingleNode(4, "P100")
+		initials := []*config.Strategy{config.DataParallel(g, topo)}
+		for _, batch := range []int{1, 4, 8, 16} {
+			b.Run(fmt.Sprintf("%s/batch=%d", c.model, batch), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					est := newEstimator()
+					opts := search.DefaultOptions()
+					opts.MaxIters = c.iters
+					opts.ProposalBatch = batch
+					res := search.MCMC(context.Background(), g, topo, est, initials, opts)
+					if res.Best == nil || res.Iters == 0 {
+						b.Fatalf("batch=%d: degenerate search: %+v", batch, res)
+					}
+				}
+			})
+		}
 	}
 }
 

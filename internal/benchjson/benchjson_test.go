@@ -153,3 +153,87 @@ func TestCompare(t *testing.T) {
 		t.Error("zero old value reported a percentage")
 	}
 }
+
+// TestCompareEdgeCases covers the shapes real trajectory files produce
+// that the happy-path TestCompare does not: files with nil benchmark
+// maps on either side, zero-iteration baseline entries (a bench run
+// that crashed mid-suite still parses), and entries with no metrics
+// map at all. None of these may panic or report a percentage computed
+// from a missing side.
+func TestCompareEdgeCases(t *testing.T) {
+	// Nil maps on both sides: an empty union, not a panic.
+	if deltas := Compare(&File{}, &File{}); len(deltas) != 0 {
+		t.Fatalf("nil-map compare produced %v", deltas)
+	}
+	// One side entirely missing its map.
+	deltas := Compare(&File{}, &File{Benchmarks: map[string]Entry{
+		"BenchmarkOnly": {Iterations: 3, NsPerOp: 42},
+	}})
+	if len(deltas) != 1 || deltas[0].InOld || !deltas[0].InNew {
+		t.Fatalf("one-sided compare = %+v", deltas)
+	}
+	if _, ok := deltas[0].PctNs(); ok {
+		t.Error("PctNs reported for a benchmark with no old side")
+	}
+	if _, ok := deltas[0].PctAllocs(); ok {
+		t.Error("PctAllocs reported for a benchmark with no old side")
+	}
+
+	// Zero-iteration baseline entries: ns/op is zero, so every pct on
+	// that column must decline rather than divide by zero; columns with
+	// data on both sides still report.
+	old := &File{Benchmarks: map[string]Entry{
+		"BenchmarkCrashed": {Iterations: 0, AllocsPerOp: 12},
+	}}
+	new := &File{Benchmarks: map[string]Entry{
+		"BenchmarkCrashed": {Iterations: 10, NsPerOp: 100, AllocsPerOp: 6},
+	}}
+	d := Compare(old, new)[0]
+	if !d.InOld || !d.InNew {
+		t.Fatalf("zero-iteration entry lost a side: %+v", d)
+	}
+	if _, ok := d.PctNs(); ok {
+		t.Error("PctNs reported against a zero-ns baseline")
+	}
+	if p, ok := d.PctAllocs(); !ok || p != -50 {
+		t.Errorf("PctAllocs = %v,%v, want -50,true", p, ok)
+	}
+
+	// Entries without metrics maps compare fine; a lookup on the nil
+	// map is just absent data.
+	if d.Old.Metrics[ThroughputMetric] != 0 || d.New.Metrics[ThroughputMetric] != 0 {
+		t.Error("missing metrics maps should read as zero")
+	}
+}
+
+// TestValidateBaselineShapes pins what Validate does and does not gate
+// about baselines: the Benchmarks side must be well-formed (positive
+// ns/op, throughput metric present), while Baseline entries are
+// historical record — zero-iteration or zero-ns baselines load fine, so
+// a trajectory file can faithfully record a baseline taken before a
+// benchmark reported a given column. The improvement claims themselves
+// are gated by lint_bench_test.go, not here.
+func TestValidateBaselineShapes(t *testing.T) {
+	f := &File{
+		Schema: SchemaVersion,
+		PR:     "pr9",
+		Baseline: map[string]Entry{
+			"BenchmarkProposalThroughput": {}, // zero everything
+			"BenchmarkNoMetrics":          {Iterations: 1, NsPerOp: 5},
+		},
+		Benchmarks: map[string]Entry{
+			"BenchmarkProposalThroughput": {
+				Iterations: 1, NsPerOp: 10,
+				Metrics: map[string]float64{ThroughputMetric: 100},
+			},
+		},
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("degenerate baseline entries must not fail validation: %v", err)
+	}
+	// The same degenerate entry on the Benchmarks side must fail.
+	f.Benchmarks["BenchmarkBad"] = Entry{}
+	if err := f.Validate(); err == nil {
+		t.Fatal("zero ns/op benchmark entry accepted")
+	}
+}

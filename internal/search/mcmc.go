@@ -163,9 +163,20 @@ type Options struct {
 	OnEvent func(ProgressEvent)
 }
 
+// DefaultProposalBatch is the measured ProposalBatch default: the
+// batch ∈ {1, 4, 8, 16} × {synth-2k, synth-50k} sweep recorded in
+// BENCH_pr9.json (methodology in docs/EXPERIMENTS.md) shows batched
+// rounds losing ground as batch size grows — at realistic acceptance
+// rates a round's later drafts are priced against a point the chain
+// has already left, so their evaluations are discarded work — and
+// batch=1 is also the only size whose walk is bit-identical to a
+// ProposalBatch-less search. Batching stays available as an explicit
+// opt-in for cost models where drafting dominates pricing.
+const DefaultProposalBatch = 1
+
 // DefaultOptions returns the configuration used by the experiments.
 func DefaultOptions() Options {
-	return Options{Beta: 15, MaxIters: 2000, Seed: 1}
+	return Options{Beta: 15, MaxIters: 2000, Seed: 1, ProposalBatch: DefaultProposalBatch}
 }
 
 // TracePoint records search progress for Figure 12. Elapsed is the

@@ -29,8 +29,10 @@ func TestMain(m *testing.M) {
 // per-search cap) between 1, 2 and NumCPU must leave the MCMC result —
 // strategy, cost, proposal counts, stats, trace — bit-identical. The
 // contract holds per batch size (each ProposalBatch value is its own
-// deterministic walk), so the differential runs at rounds of one (the
-// classic walk) and at a batched round size. It does not call
+// deterministic walk), so the differential sweeps batch ∈ {1, 6, 8}
+// (the default's walk, a non-divisor round size, and a batched round)
+// crossed with the per-search Workers cap — the reference is always
+// (pool=1, Workers=1), the strictest serialization. It does not call
 // t.Parallel: it owns the global pool knob while it runs (non-parallel
 // tests execute alone), and restores it before the parallel phase
 // starts.
@@ -46,42 +48,78 @@ func TestMCMCPoolSizeDifferential(t *testing.T) {
 	opts.Seed = 11
 	initials := Initials(g, topo, 11, true)
 
-	for _, batch := range []int{1, 8} {
+	for _, batch := range []int{1, 6, 8} {
 		opts.ProposalBatch = batch
+		opts.Workers = 1
 		par.SetWorkers(1)
 		ref := MCMC(context.Background(), g, topo, est, initials, opts)
 		if ref.Iters == 0 || ref.Best == nil {
 			t.Fatalf("batch=%d: degenerate reference result: %+v", batch, ref)
 		}
-		tried := map[int]bool{1: true}
-		for _, size := range []int{2, runtime.NumCPU(), 4} {
-			if tried[size] {
+		type cell struct{ pool, workers int }
+		tried := map[cell]bool{{1, 1}: true}
+		for _, c := range []cell{
+			{2, 0}, {runtime.NumCPU(), 0}, {4, 0},
+			{1, 0}, {4, 2}, {4, 1},
+		} {
+			if tried[c] {
 				continue
 			}
-			tried[size] = true
-			par.SetWorkers(size)
+			tried[c] = true
+			par.SetWorkers(c.pool)
+			opts.Workers = c.workers
 			got := MCMC(context.Background(), g, topo, est, initials, opts)
 			if got.BestCost != ref.BestCost || !got.Best.Equal(ref.Best) {
-				t.Errorf("batch=%d pool=%d: Best/BestCost %v differ from pool=1 %v", batch, size, got.BestCost, ref.BestCost)
+				t.Errorf("batch=%d pool=%d workers=%d: Best/BestCost %v differ from reference %v", batch, c.pool, c.workers, got.BestCost, ref.BestCost)
 			}
 			if got.Iters != ref.Iters || got.Accepted != ref.Accepted {
-				t.Errorf("batch=%d pool=%d: Iters/Accepted %d/%d != pool=1 %d/%d",
-					batch, size, got.Iters, got.Accepted, ref.Iters, ref.Accepted)
+				t.Errorf("batch=%d pool=%d workers=%d: Iters/Accepted %d/%d != reference %d/%d",
+					batch, c.pool, c.workers, got.Iters, got.Accepted, ref.Iters, ref.Accepted)
 			}
 			if got.SimStats != ref.SimStats {
-				t.Errorf("batch=%d pool=%d: SimStats %+v != pool=1 %+v", batch, size, got.SimStats, ref.SimStats)
+				t.Errorf("batch=%d pool=%d workers=%d: SimStats %+v != reference %+v", batch, c.pool, c.workers, got.SimStats, ref.SimStats)
 			}
 			if len(got.Trace) != len(ref.Trace) {
-				t.Errorf("batch=%d pool=%d: trace length %d != pool=1 %d", batch, size, len(got.Trace), len(ref.Trace))
+				t.Errorf("batch=%d pool=%d workers=%d: trace length %d != reference %d", batch, c.pool, c.workers, len(got.Trace), len(ref.Trace))
 				continue
 			}
 			for i := range ref.Trace {
 				if got.Trace[i] != ref.Trace[i] {
-					t.Errorf("batch=%d pool=%d: trace[%d] = %+v != pool=1 %+v", batch, size, i, got.Trace[i], ref.Trace[i])
+					t.Errorf("batch=%d pool=%d workers=%d: trace[%d] = %+v != reference %+v", batch, c.pool, c.workers, i, got.Trace[i], ref.Trace[i])
 					break
 				}
 			}
 		}
+	}
+}
+
+// TestMCMCProposalBatchDefaultPinned pins the measured ProposalBatch
+// default (see the DefaultProposalBatch doc and the batch sweep in
+// BENCH_pr9.json): DefaultOptions carries it, and the default's walk is
+// the classic one-at-a-time walk — bit-identical to an explicit
+// ProposalBatch of zero. Changing the default without re-running the
+// sweep (docs/EXPERIMENTS.md) should trip this test.
+func TestMCMCProposalBatchDefaultPinned(t *testing.T) {
+	if DefaultProposalBatch != 1 {
+		t.Fatalf("DefaultProposalBatch = %d; the committed sweep picked 1 — re-measure before moving it", DefaultProposalBatch)
+	}
+	if got := DefaultOptions().ProposalBatch; got != DefaultProposalBatch {
+		t.Fatalf("DefaultOptions().ProposalBatch = %d, want DefaultProposalBatch (%d)", got, DefaultProposalBatch)
+	}
+
+	g := tinyMLP()
+	topo := device.NewSingleNode(4, "P100")
+	est := perfmodel.NewAnalyticModel()
+	opts := DefaultOptions()
+	opts.MaxIters = 120
+	opts.Seed = 5
+	initials := Initials(g, topo, 5, true)
+	def := MCMC(context.Background(), g, topo, est, initials, opts)
+	opts.ProposalBatch = 0
+	classic := MCMC(context.Background(), g, topo, est, initials, opts)
+	if def.BestCost != classic.BestCost || def.Iters != classic.Iters ||
+		def.Accepted != classic.Accepted || def.SimStats != classic.SimStats {
+		t.Fatalf("default batch walk differs from the classic walk: %+v vs %+v", def, classic)
 	}
 }
 

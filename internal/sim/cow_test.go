@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"flexflow/internal/config"
+	"flexflow/internal/device"
+	"flexflow/internal/models"
+	"flexflow/internal/perfmodel"
+	"flexflow/internal/taskgraph"
+)
+
+// timesSnapshot flattens every live task's (ready, start, end) in task
+// order — a bit-comparable fingerprint of a state's whole timeline.
+func timesSnapshot(st *State) []time.Duration {
+	out := make([]time.Duration, 0, 3*len(st.TG.Tasks))
+	for _, task := range st.TG.Tasks {
+		if !st.TG.Live(task) {
+			continue
+		}
+		r, s, e := st.Times(task)
+		out = append(out, r, s, e)
+	}
+	return out
+}
+
+func timesEqual(a, b []time.Duration) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// cloneWalk is one chain's deterministic mutate/revert sequence off a
+// shared base: it clones the base state for a fresh plan instance, runs
+// `steps` random config replacements (reverting half of them), and
+// returns the per-delta makespans plus the final timeline fingerprint.
+// The walk is a pure function of (plan, base, seed), so serial and
+// concurrent executions must agree bit for bit.
+func cloneWalk(plan *taskgraph.Plan, base *State, topo *device.Topology, seed int64, steps int) ([]time.Duration, []time.Duration) {
+	rng := rand.New(rand.NewSource(seed))
+	inst := plan.Instance()
+	st := base.CloneFor(inst)
+	ops := inst.G.ComputeOps()
+	makespans := make([]time.Duration, 0, steps*2)
+	for step := 0; step < steps; step++ {
+		op := ops[rng.Intn(len(ops))]
+		old := inst.Strat.Config(op.ID).Clone()
+		makespans = append(makespans, st.ApplyDelta(inst.ReplaceConfig(op.ID, config.RandomConfig(op, topo, rng))))
+		if rng.Intn(2) == 0 {
+			makespans = append(makespans, st.ApplyDelta(inst.ReplaceConfig(op.ID, old)))
+		}
+	}
+	return makespans, timesSnapshot(st)
+}
+
+// TestCloneForIsolationDifferential is the timing-side mirror of the
+// task graph's cow_test.go: N chains share one sealed base state
+// copy-on-write, each applies an independent delta sequence, and each
+// must be bit-identical to a serial reference run of the same seed —
+// same makespan at every step, same final timeline — while the base's
+// own timeline never moves. A chain observing a sibling's faulted pages
+// (or writing through a shared one) breaks the differential; run under
+// -race it also proves the CloneFor seal is the only synchronization
+// the sharing needs.
+func TestCloneForIsolationDifferential(t *testing.T) {
+	spec, err := models.Get("synth-2k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := spec.BuildScaled(1)
+	topo := device.NewSingleNode(4, "P100")
+	plan := taskgraph.Compile(g, topo, config.DataParallel(g, topo), perfmodel.NewAnalyticModel(), taskgraph.Options{})
+	base := NewState(plan.Base())
+	baseCost := base.Simulate()
+	baseTimes := timesSnapshot(base)
+
+	const workers = 6
+	const steps = 8
+	type result struct {
+		makespans []time.Duration
+		times     []time.Duration
+	}
+
+	// Serial reference: each chain's walk alone, nobody else faulting
+	// pages off the shared base while it runs.
+	refs := make([]result, workers)
+	for w := range refs {
+		refs[w].makespans, refs[w].times = cloneWalk(plan, base, topo, int64(100+w), steps)
+	}
+	if !timesEqual(timesSnapshot(base), baseTimes) {
+		t.Fatal("serial reference walks disturbed the base timeline")
+	}
+
+	// Concurrent run: all chains share the one sealed base at once.
+	got := make([]result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			got[w].makespans, got[w].times = cloneWalk(plan, base, topo, int64(100+w), steps)
+		}(w)
+	}
+	wg.Wait()
+
+	for w := range got {
+		if !timesEqual(got[w].makespans, refs[w].makespans) {
+			t.Errorf("chain %d: concurrent makespans %v != serial reference %v", w, got[w].makespans, refs[w].makespans)
+		}
+		if !timesEqual(got[w].times, refs[w].times) {
+			t.Errorf("chain %d: final timeline differs from serial reference (sibling bleed?)", w)
+		}
+	}
+	if base.Makespan != baseCost || !timesEqual(timesSnapshot(base), baseTimes) {
+		t.Fatal("concurrent chains disturbed the shared base timeline")
+	}
+
+	// Privatize direction: a sealed source that is itself mutated must
+	// unshare first, leaving its clones' frozen view untouched. (The
+	// plan's base graph is frozen, so this leg runs on a standalone
+	// mutable graph.) The clone's pages are read through pre-mutation
+	// task pointers: whatever the source does, those reads must return
+	// the exact values frozen at clone time.
+	tg := taskgraph.Build(g, topo, config.DataParallel(g, topo), perfmodel.NewAnalyticModel(), taskgraph.Options{})
+	src := NewState(tg)
+	src.Simulate()
+	snap := src.Clone() // seals src; snap shares every page
+	var oldTasks []*taskgraph.Task
+	for _, task := range tg.Tasks {
+		if tg.Live(task) {
+			oldTasks = append(oldTasks, task)
+		}
+	}
+	readSnap := func() []time.Duration {
+		out := make([]time.Duration, 0, 3*len(oldTasks))
+		for _, task := range oldTasks {
+			r, s, e := snap.Times(task)
+			out = append(out, r, s, e)
+		}
+		return out
+	}
+	frozen := readSnap()
+	rng := rand.New(rand.NewSource(99))
+	srcOps := tg.G.ComputeOps()
+	op := srcOps[rng.Intn(len(srcOps))]
+	got1 := src.ApplyDelta(tg.ReplaceConfig(op.ID, config.RandomConfig(op, topo, rng)))
+	if want := NewState(tg).Simulate(); got1 != want {
+		t.Fatalf("source mutation after sealing: delta %v != full %v", got1, want)
+	}
+	if !timesEqual(readSnap(), frozen) {
+		t.Fatal("source mutation leaked into the sealed clone's pages")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"flexflow/internal/config"
 	"flexflow/internal/device"
 	"flexflow/internal/graph"
+	"flexflow/internal/models"
 	"flexflow/internal/perfmodel"
 	"flexflow/internal/taskgraph"
 )
@@ -105,6 +106,68 @@ func TestDeltaEqualsFullProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// scalePropertyRun drives the synthetic-model delta/full differential
+// shared by the TestScaleProperty* suite: a random mutate/revert walk on
+// one model, asserting after every ApplyDelta that the incremental
+// timeline — makespan and every live task's (ready, start, end) — is
+// bit-identical to a full Simulate of the same graph. Reverts go through
+// the same ReplaceConfig+ApplyDelta path the MCMC rejection step uses.
+func scalePropertyRun(t *testing.T, model string, seed int64, steps int) {
+	t.Helper()
+	spec, err := models.Get(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := spec.BuildScaled(1)
+	topo := device.NewSingleNode(4, "P100")
+	rng := rand.New(rand.NewSource(seed))
+	tg := taskgraph.Build(g, topo, config.DataParallel(g, topo), perfmodel.NewAnalyticModel(), taskgraph.Options{})
+	st := NewState(tg)
+	st.Simulate()
+	ops := g.ComputeOps()
+	check := func(step int, got time.Duration) {
+		ref := NewState(tg)
+		want := ref.Simulate()
+		if got != want {
+			t.Fatalf("%s seed %d step %d: delta makespan %v != full %v", model, seed, step, got, want)
+		}
+		for _, task := range tg.Tasks {
+			if !tg.Live(task) {
+				continue
+			}
+			gr, gs, ge := st.Times(task)
+			wr, ws, we := ref.Times(task)
+			if gr != wr || gs != ws || ge != we {
+				t.Fatalf("%s seed %d step %d: task %d times (%v,%v,%v) != full (%v,%v,%v)",
+					model, seed, step, task.ID, gr, gs, ge, wr, ws, we)
+			}
+		}
+	}
+	for step := 0; step < steps; step++ {
+		op := ops[rng.Intn(len(ops))]
+		old := tg.Strat.Config(op.ID).Clone()
+		check(step, st.ApplyDelta(tg.ReplaceConfig(op.ID, config.RandomConfig(op, topo, rng))))
+		if rng.Intn(2) == 0 {
+			check(step, st.ApplyDelta(tg.ReplaceConfig(op.ID, old)))
+		}
+	}
+	if st.Stats.Fallbacks != 0 {
+		t.Fatalf("%s seed %d: %d fixpoint fallbacks (delta path not exercised)", model, seed, st.Stats.Fallbacks)
+	}
+}
+
+// TestScalePropertySynth2k extends the delta/full property fuzz from the
+// 2019 model zoo to the synthetic scale class: random mutate/revert
+// sequences on the full-size synth-2k layered DAG, checked against a
+// full simulation at every step. This is the per-PR scale gate (CI runs
+// `-run TestScaleProperty -tags scale` under -race); the 50k-task
+// variant lives behind the scale build tag.
+func TestScalePropertySynth2k(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		scalePropertyRun(t, "synth-2k", seed, 10)
 	}
 }
 

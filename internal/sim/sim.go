@@ -28,21 +28,32 @@
 // recorded id belongs to a removed task (the slot may already be
 // recycled by a new one), which makes liveness a single array compare.
 //
+// Per-task timing state lives in fixed-size pages (pageSize tstates
+// each) addressed by slot, with per-page copy-on-write ownership: a
+// CloneFor copies only the page table and the per-resource timeline
+// headers, and a page or timeline row is physically copied the first
+// time the clone writes it. All reads go through rd, all writes through
+// wr (which faults the page private first) — a pointer obtained from rd
+// must never be written through, and must not be held across a call
+// that may write (the page backing it may be replaced by a fault).
+//
 // # Ownership
 //
 // The task graph is structure, the State is state: Simulate and
 // ApplyDelta never write into tasks — every mutable value (ready/start/
 // end times, per-resource timelines, scheduling scratch, the work heap)
-// lives in the State's own arrays, indexed by Task.Slot. A frozen
+// lives in the State's own pages, indexed by Task.Slot. A frozen
 // taskgraph.Plan base can therefore be simulated by any number of
 // goroutines concurrently, each with its own State.
 //
 // A State itself is owned by exactly one goroutine; it is not safe for
-// concurrent use and is never locked. The concurrent search runtime
-// gets its parallelism one level up: each MCMC chain (or Neighborhood
-// worker) takes a private Plan.Instance() and a State cloned from the
-// shared base timeline (CloneFor), so per-chain setup is a pointer
-// remap plus an array copy instead of a full Build+Simulate.
+// concurrent use and is never locked — with one deliberate exception:
+// CloneFor only reads the source and marks it sealed (an atomic flag),
+// so any number of chains may clone one base concurrently. Sealing
+// records that the source's pages are now shared; if the source is
+// later mutated (Simulate/ApplyDelta), it first drops ownership of
+// everything it shared, so its own writes fault private copies and the
+// clones' view is never disturbed.
 //
 // When a State is attached to a mutable graph, every ReplaceConfig must
 // be followed by ApplyDelta (or a full Simulate) before the next
@@ -51,8 +62,8 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"flexflow/internal/taskgraph"
@@ -78,6 +89,16 @@ type tstate struct {
 	queued bool
 }
 
+// Timing pages: slot s lives in pages[s>>pageShift][s&pageMask]. 512
+// tstates is ~24KB per page — big enough that a 100k-slot graph is a
+// ~200-entry page table (so CloneFor is cheap), small enough that a
+// delta touching a handful of tasks faults only a few KB.
+const (
+	pageShift = 9
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
 // ref identifies a task as it was when scheduled: its slot plus the ID
 // the slot held. Slots of removed tasks are recycled, so a ref whose id
 // no longer matches Adj.ID[slot] is dead — an O(1) liveness test with
@@ -87,7 +108,7 @@ type ref struct {
 }
 
 // State is a simulation state: per-resource execution timelines plus
-// the per-task timing arrays, all owned by the state (the task graph is
+// the per-task timing pages, all owned by the state (the task graph is
 // never written).
 type State struct {
 	TG *taskgraph.TaskGraph
@@ -106,10 +127,23 @@ type State struct {
 	// Simulate itself (the fallback must always be allowed to finish).
 	FixpointBudget int
 
-	adj     *taskgraph.Adj
-	pq      workHeap
-	ts      []tstate // indexed by Task.Slot
-	scratch []int32  // reused affected-slot buffer for ApplyDelta
+	adj *taskgraph.Adj
+	pq  workHeap
+
+	// pages is the paged per-slot timing store; pageOwned tracks
+	// copy-on-write ownership per page (nil means the state owns every
+	// page — the root-state fast path). resOwned is the same for the
+	// res timeline rows. sealed is set (atomically — CloneFor runs
+	// concurrently) when a clone shares our backing; the next mutation
+	// drops ownership of everything first (privatize). Pages are
+	// fixed-size arrays behind pointers: the slot&pageMask index needs
+	// no bounds check and the page table is one word per page.
+	pages     []*[pageSize]tstate
+	pageOwned []bool
+	resOwned  []bool
+	sealed    atomic.Bool
+
+	scratch []int32 // reused affected-slot buffer for ApplyDelta
 }
 
 // Stats counts simulator work.
@@ -126,56 +160,134 @@ type Stats struct {
 // NewState creates a simulation state for the task graph. Call Simulate
 // to populate the timeline.
 func NewState(tg *taskgraph.TaskGraph) *State {
-	return &State{
+	s := &State{
 		TG:         tg,
 		numDevices: tg.Topo.NumDevices(),
 		res:        make([][]ref, tg.Topo.NumDevices()+len(tg.Topo.Links)),
 		adj:        tg.Adj(),
-		ts:         make([]tstate, tg.NumSlots()),
+	}
+	s.growPages(tg.NumSlots())
+	return s
+}
+
+// growPages extends the page table to cover n slots. New pages are
+// always owned (freshly allocated, shared with nobody).
+func (s *State) growPages(n int) {
+	need := (n + pageMask) >> pageShift
+	for len(s.pages) < need {
+		s.pages = append(s.pages, new([pageSize]tstate))
+		if s.pageOwned != nil {
+			s.pageOwned = append(s.pageOwned, true)
+		}
+	}
+}
+
+// rd returns the slot's timing state for reading. The pointer must not
+// be written through, and must not be held across any call that may
+// write timing state (a copy-on-write fault replaces the whole page).
+func (s *State) rd(slot int32) *tstate {
+	return &s.pages[slot>>pageShift][slot&pageMask]
+}
+
+// wr returns the slot's timing state for writing, faulting the page
+// private first if it is still shared with the clone source. Within one
+// Simulate/ApplyDelta run a wr pointer stays valid (a page faults at
+// most once, on its first write).
+func (s *State) wr(slot int32) *tstate {
+	p := slot >> pageShift
+	if s.pageOwned != nil && !s.pageOwned[p] {
+		s.faultPage(p)
+	}
+	return &s.pages[p][slot&pageMask]
+}
+
+func (s *State) faultPage(p int32) {
+	fresh := *s.pages[p]
+	s.pages[p] = &fresh
+	s.pageOwned[p] = true
+}
+
+// orderW returns a resource's execution order for in-place writing,
+// copying it private first if the row is still shared.
+func (s *State) orderW(key int32) []ref {
+	if s.resOwned != nil && !s.resOwned[key] {
+		shared := s.res[key]
+		s.res[key] = append(make([]ref, 0, len(shared)+8), shared...)
+		s.resOwned[key] = true
+	}
+	return s.res[key]
+}
+
+// privatize runs at the top of every mutation: if the state was sealed
+// by CloneFor, its pages and timeline rows are shared with the clones,
+// so ownership of everything is dropped — subsequent writes fault
+// private copies and the clones keep their frozen view.
+func (s *State) privatize() {
+	if !s.sealed.Load() {
+		return
+	}
+	s.sealed.Store(false)
+	if s.pageOwned == nil {
+		s.pageOwned = make([]bool, len(s.pages))
+	} else {
+		clear(s.pageOwned)
+	}
+	if s.resOwned == nil {
+		s.resOwned = make([]bool, len(s.res))
+	} else {
+		clear(s.resOwned)
+	}
+	for i, o := range s.res {
+		s.res[i] = o[:len(o):len(o)] // pin caps: appends must reallocate
 	}
 }
 
 // CloneFor returns an independent copy of the state rebound to tg,
 // which must hold the same live tasks (matching IDs and slots) as the
 // state's own graph — i.e. an Instance of the same Plan, cloned before
-// any divergent ReplaceConfig. Timelines, timing arrays and Stats are
-// all copied, so the clone continues with ApplyDelta immediately, no
-// re-Simulate needed. This is the cheap per-chain/per-worker setup path
-// of the concurrent search runtime.
+// any divergent ReplaceConfig. Timelines, timing pages and Stats are
+// all carried over, so the clone continues with ApplyDelta immediately,
+// no re-Simulate needed. This is the cheap per-chain/per-worker setup
+// path of the concurrent search runtime.
 //
-// Because timelines reference tasks by (slot, id) rather than by
-// pointer, rebinding is pure array copying; the target graph is
-// validated against the state's in O(slots).
+// The clone shares the source's timing pages and timeline rows
+// copy-on-write: only the page table and row headers are copied here
+// (a few KB at 100k tasks), and pages are physically copied one at a
+// time as the clone writes them. CloneFor only reads the source (plus
+// one atomic store sealing it), so concurrent clones of one base are
+// safe; the source itself may be mutated afterwards — it unshares
+// first — but not while other goroutines are still cloning it.
 func (s *State) CloneFor(tg *taskgraph.TaskGraph) *State {
+	s.sealed.Store(true)
 	out := &State{
 		TG:         tg,
 		numDevices: s.numDevices,
 		res:        make([][]ref, len(s.res)),
+		resOwned:   make([]bool, len(s.res)),
 		Makespan:   s.Makespan,
 		Stats:      s.Stats,
 		adj:        tg.Adj(),
-		ts:         append([]tstate(nil), s.ts...),
+		pages:      append([]*[pageSize]tstate(nil), s.pages...),
+		pageOwned:  make([]bool, len(s.pages)),
+	}
+	for r, order := range s.res {
+		out.res[r] = order[:len(order):len(order)]
 	}
 	if tg != s.TG {
-		a, b := s.TG.Adj().ID, tg.Adj().ID
+		a, b := s.adj.ID, tg.Adj().ID
 		if len(a) != len(b) {
 			panic("sim: CloneFor target graph does not match the state's tasks")
 		}
-		for i := range a {
-			if a[i] != b[i] {
-				panic("sim: CloneFor target graph does not match the state's tasks")
+		// Instances share the Plan's ID backing until their first
+		// divergent mutation, so identical backing proves identical
+		// tasks in O(1); the element compare is the cold fallback.
+		if len(a) > 0 && &a[0] != &b[0] {
+			for i := range a {
+				if a[i] != b[i] {
+					panic("sim: CloneFor target graph does not match the state's tasks")
+				}
 			}
 		}
-	}
-	total := 0
-	for _, order := range s.res {
-		total += len(order)
-	}
-	backing := make([]ref, 0, total)
-	for r, order := range s.res {
-		lo := len(backing)
-		backing = append(backing, order...)
-		out.res[r] = backing[lo:len(backing):len(backing)]
 	}
 	return out
 }
@@ -187,18 +299,16 @@ func (s *State) Clone() *State { return s.CloneFor(s.TG) }
 // Times returns the task's (ready, start, end) from the last
 // Simulate/ApplyDelta call.
 func (s *State) Times(t *taskgraph.Task) (ready, start, end time.Duration) {
-	st := &s.ts[t.Slot]
+	st := s.rd(int32(t.Slot))
 	return st.ready, st.start, st.end
 }
 
-// ensure rebinds the flat adjacency view and grows the per-slot state
-// array to cover every slot the graph has allocated (ReplaceConfig can
-// mint new slots when an op's task count grows past the previous peak).
+// ensure rebinds the flat adjacency view and grows the timing pages to
+// cover every slot the graph has allocated (ReplaceConfig can mint new
+// slots when an op's task count grows past the previous peak).
 func (s *State) ensure() {
 	s.adj = s.TG.Adj()
-	if n := s.TG.NumSlots(); n > len(s.ts) {
-		s.ts = append(s.ts, make([]tstate, n-len(s.ts))...)
-	}
+	s.growPages(s.TG.NumSlots())
 }
 
 type workItem struct {
@@ -206,33 +316,87 @@ type workItem struct {
 	id, slot int32
 }
 
+// workHeap is a hand-rolled 4-ary min-heap over (ready, id). It avoids
+// container/heap's per-Push interface boxing (one allocation per push —
+// formerly the delta hot path's dominant allocator) and its virtual
+// Less/Swap calls, and the wider fan-out halves the sift depth of the
+// pop-heavy fixpoint loop. Pop order is implementation-independent:
+// per-slot key dedup guarantees one entry per (slot, ready) and ids are
+// unique, so the comparator is a total order and any correct priority
+// queue yields the identical deterministic schedule.
 type workHeap []workItem
 
-func (h workHeap) Len() int { return len(h) }
-func (h workHeap) Less(i, j int) bool {
-	if h[i].ready != h[j].ready {
-		return h[i].ready < h[j].ready
+func itemLess(a, b workItem) bool {
+	if a.ready != b.ready {
+		return a.ready < b.ready
 	}
-	return h[i].id < h[j].id
+	return a.id < b.id
 }
-func (h workHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *workHeap) Push(x interface{}) { *h = append(*h, x.(workItem)) }
-func (h *workHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+// push sifts up by hole percolation: the new item is held aside and
+// displaced parents slide down into the hole, halving the writes of a
+// swap-based sift.
+func (h *workHeap) push(it workItem) {
+	q := append(*h, it)
+	*h = q
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !itemLess(it, q[p]) {
+			break
+		}
+		q[i] = q[p]
+		i = p
+	}
+	q[i] = it
+}
+
+// pop sifts down the same way: the displaced last item is held aside
+// and the smallest child slides up into the hole at each level.
+func (h *workHeap) pop() workItem {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q = q[:n]
+	*h = q
+	if n == 0 {
+		return top
+	}
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		m := c
+		hi := c + 4
+		if hi > n {
+			hi = n
+		}
+		for j := c + 1; j < hi; j++ {
+			if itemLess(q[j], q[m]) {
+				m = j
+			}
+		}
+		if !itemLess(q[m], last) {
+			break
+		}
+		q[i] = q[m]
+		i = m
+	}
+	q[i] = last
+	return top
 }
 
 func (s *State) push(slot int32) {
-	st := &s.ts[slot]
+	st := s.wr(slot)
 	if st.queued && st.key == st.ready {
 		return // identical entry already queued
 	}
 	st.queued = true
 	st.key = st.ready
-	heap.Push(&s.pq, workItem{ready: st.ready, id: s.adj.ID[slot], slot: slot})
+	s.pq.push(workItem{ready: st.ready, id: s.adj.ID[slot], slot: slot})
 }
 
 // Simulate runs the full simulation algorithm: it clears all timing
@@ -243,9 +407,26 @@ func (s *State) push(slot int32) {
 // exactly once; re-evaluations only occur to repair ready-time ties.
 func (s *State) Simulate() time.Duration {
 	s.Stats.FullSims++
+	s.privatize()
 	s.ensure()
+	// A full rebuild overwrites every live slot and every timeline, so
+	// shared pages are replaced with fresh zero pages (no copy) and
+	// shared timeline rows are dropped rather than copied.
+	if s.pageOwned != nil {
+		for p, owned := range s.pageOwned {
+			if !owned {
+				s.pages[p] = new([pageSize]tstate)
+				s.pageOwned[p] = true
+			}
+		}
+	}
 	for i := range s.res {
-		s.res[i] = s.res[i][:0]
+		if s.resOwned != nil && !s.resOwned[i] {
+			s.res[i] = nil
+			s.resOwned[i] = true
+		} else {
+			s.res[i] = s.res[i][:0]
+		}
 	}
 	s.pq = s.pq[:0]
 	a := s.adj
@@ -255,8 +436,9 @@ func (s *State) Simulate() time.Duration {
 			// entries; those are skipped by the id check on pop).
 			continue
 		}
-		s.ts[slot] = tstate{pos: -1, pending: int32(len(a.In[slot]))}
-		if len(a.In[slot]) == 0 {
+		st := s.rd(int32(slot)) // every page is owned here
+		*st = tstate{pos: -1, pending: int32(len(a.In[slot]))}
+		if st.pending == 0 {
 			s.push(int32(slot))
 		}
 	}
@@ -285,7 +467,13 @@ func (s *State) Simulate() time.Duration {
 // ready/start/end values: when the re-evaluation converges to the same
 // end time, the early-cutoff rule skips re-pushing already-scheduled
 // successors, stopping the propagation wavefront at the first ring of
-// unchanged tasks.
+// unchanged tasks. Truncation's pending-gating is also why the suffix
+// is re-evaluated once per task, Dijkstra-style: a dependency-driven
+// variant that keeps survivors scheduled and relaxes changed ready
+// times through the fixpoint was measured to evaluate hot aggregation
+// points (weight updates, sync barriers) 20-30x each on tightly packed
+// timelines — Bellman-Ford wave churn — and lost by two orders of
+// magnitude at the 50k-task scale.
 //
 // Slot recycling note: an added task may occupy a removed task's slot.
 // The loops below therefore read every removed task's state (the T0
@@ -294,6 +482,7 @@ func (s *State) Simulate() time.Duration {
 // a different live task, or no task at all).
 func (s *State) ApplyDelta(cs taskgraph.ChangeSet) time.Duration {
 	s.Stats.DeltaSims++
+	s.privatize()
 	s.ensure()
 	s.pq = s.pq[:0]
 	a := s.adj
@@ -301,13 +490,13 @@ func (s *State) ApplyDelta(cs taskgraph.ChangeSet) time.Duration {
 	t0 := inf
 
 	for _, t := range cs.Removed {
-		st := &s.ts[t.Slot]
+		st := s.rd(int32(t.Slot))
 		if st.done && st.start < t0 {
 			t0 = st.start
 		}
 	}
 	for _, t := range cs.Added {
-		s.ts[t.Slot] = tstate{pos: -1}
+		*s.wr(int32(t.Slot)) = tstate{pos: -1}
 	}
 	for _, t := range cs.Added {
 		// Chain heads (all predecessors already scheduled) bound the
@@ -315,7 +504,7 @@ func (s *State) ApplyDelta(cs taskgraph.ChangeSet) time.Duration {
 		// added tasks are covered transitively.
 		head := true
 		for _, p := range a.In[t.Slot] {
-			if !s.ts[p].done {
+			if !s.rd(p).done {
 				head = false
 				break
 			}
@@ -327,7 +516,7 @@ func (s *State) ApplyDelta(cs taskgraph.ChangeSet) time.Duration {
 		}
 	}
 	for _, t := range cs.Touched {
-		if st := &s.ts[t.Slot]; st.start < t0 {
+		if st := s.rd(int32(t.Slot)); st.start < t0 {
 			t0 = st.start
 		}
 		if r := s.computeReady(int32(t.Slot)); r < t0 {
@@ -356,22 +545,28 @@ func (s *State) ApplyDelta(cs taskgraph.ChangeSet) time.Duration {
 				cut-- // removed task (slot possibly recycled)
 				continue
 			}
-			st := &s.ts[e.slot]
+			st := s.rd(e.slot)
 			if st.end > t0 || st.start >= t0 {
 				cut--
 				continue
 			}
 			break
 		}
+		if cut == len(order) {
+			continue // untouched timeline: the row stays shared
+		}
 		for _, e := range order[cut:] {
 			if a.ID[e.slot] != e.id {
 				continue // removed; the slot's state is not ours to reset
 			}
-			st := &s.ts[e.slot]
+			st := s.wr(e.slot)
 			st.pos = -1
 			st.done = false
 			affected = append(affected, e.slot)
 		}
+		// Shrinking writes nothing into the backing array, so a shared
+		// row may stay shared: the first in-place write (insertOrdered /
+		// removeFromOrder) copies the surviving prefix via orderW.
 		s.res[r] = order[:cut]
 	}
 	for _, t := range cs.Added {
@@ -384,14 +579,14 @@ func (s *State) ApplyDelta(cs taskgraph.ChangeSet) time.Duration {
 	for _, slot := range affected {
 		n := int32(0)
 		for _, p := range a.In[slot] {
-			if !s.ts[p].done {
+			if !s.rd(p).done {
 				n++
 			}
 		}
-		s.ts[slot].pending = n
+		s.wr(slot).pending = n
 	}
 	for _, slot := range affected {
-		st := &s.ts[slot]
+		st := s.wr(slot)
 		if st.pending == 0 {
 			st.ready = s.computeReady(slot)
 			s.push(slot)
@@ -409,7 +604,7 @@ func (s *State) ApplyDelta(cs taskgraph.ChangeSet) time.Duration {
 	// the re-scheduled suffix — no full scan needed.
 	makespan := t0
 	for _, slot := range affected {
-		if e := s.ts[slot].end; e > makespan {
+		if e := s.rd(slot).end; e > makespan {
 			makespan = e
 		}
 	}
@@ -429,7 +624,7 @@ func (s *State) budget() int64 {
 func (s *State) computeReady(slot int32) time.Duration {
 	var r time.Duration
 	for _, p := range s.adj.In[slot] {
-		if e := s.ts[p].end; e > r {
+		if e := s.rd(p).end; e > r {
 			r = e
 		}
 	}
@@ -441,12 +636,12 @@ func (s *State) computeReady(slot int32) time.Duration {
 // partial work is still counted in Stats.Pops either way.
 func (s *State) run(budget int64) bool {
 	pops := int64(0)
-	for s.pq.Len() > 0 {
-		it := heap.Pop(&s.pq).(workItem)
+	for len(s.pq) > 0 {
+		it := s.pq.pop()
 		if s.adj.ID[it.slot] != it.id {
 			continue // task removed since it was queued
 		}
-		st := &s.ts[it.slot]
+		st := s.wr(it.slot)
 		if !st.queued || it.ready != st.key {
 			continue // stale queue entry (re-pushed or already handled)
 		}
@@ -464,7 +659,7 @@ func (s *State) run(budget int64) bool {
 
 // evaluate recomputes one task's schedule slot and propagates changes.
 func (s *State) evaluate(slot int32) {
-	st := &s.ts[slot]
+	st := s.wr(slot)
 	a := s.adj
 	key := a.Key[slot]
 	self := ref{slot: slot, id: a.ID[slot]}
@@ -492,7 +687,7 @@ func (s *State) evaluate(slot int32) {
 
 	var prevEnd time.Duration
 	if st.pos > 0 {
-		prevEnd = s.ts[order[st.pos-1].slot].end
+		prevEnd = s.rd(order[st.pos-1].slot).end
 	}
 	start := st.ready
 	if prevEnd > start {
@@ -515,7 +710,7 @@ func (s *State) evaluate(slot int32) {
 		return
 	}
 	for _, succ := range a.Out[slot] {
-		ss := &s.ts[succ]
+		ss := s.wr(succ)
 		if !ss.done {
 			if first {
 				// Our first evaluation releases one of succ's pending
@@ -548,7 +743,7 @@ func (s *State) evaluate(slot int32) {
 
 // less is the deterministic per-resource execution order: (ready, ID).
 func (s *State) less(a, b ref) bool {
-	ra, rb := s.ts[a.slot].ready, s.ts[b.slot].ready
+	ra, rb := s.rd(a.slot).ready, s.rd(b.slot).ready
 	if ra != rb {
 		return ra < rb
 	}
@@ -560,15 +755,15 @@ func (s *State) less(a, b ref) bool {
 // successor), if any.
 func (s *State) removeFromOrder(slot int32) (next int32, ok bool) {
 	key := s.adj.Key[slot]
-	order := s.res[key]
-	pos := int(s.ts[slot].pos)
+	order := s.orderW(key)
+	pos := int(s.rd(slot).pos)
 	copy(order[pos:], order[pos+1:])
 	order = order[:len(order)-1]
 	s.res[key] = order
 	for i := pos; i < len(order); i++ {
-		s.ts[order[i].slot].pos = int32(i)
+		s.wr(order[i].slot).pos = int32(i)
 	}
-	s.ts[slot].pos = -1
+	s.wr(slot).pos = -1
 	if pos < len(order) {
 		return order[pos].slot, true
 	}
@@ -576,16 +771,22 @@ func (s *State) removeFromOrder(slot int32) (next int32, ok bool) {
 }
 
 // insertOrdered inserts the task into its resource timeline at its
-// sorted position by (Ready, ID).
+// sorted position by (Ready, ID). Fixpoint processing pops tasks in
+// ready order, so during a rebuild almost every insert lands at the
+// end of its timeline — that case is one comparison, no search.
 func (s *State) insertOrdered(key int32, e ref) {
-	order := s.res[key]
+	order := s.orderW(key)
 	lo, hi := 0, len(order)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if s.less(order[mid], e) {
-			lo = mid + 1
-		} else {
-			hi = mid
+	if n := len(order); n == 0 || s.less(order[n-1], e) {
+		lo = n
+	} else {
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if s.less(order[mid], e) {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
 		}
 	}
 	order = append(order, ref{})
@@ -593,7 +794,7 @@ func (s *State) insertOrdered(key int32, e ref) {
 	order[lo] = e
 	s.res[key] = order
 	for i := lo; i < len(order); i++ {
-		s.ts[order[i].slot].pos = int32(i)
+		s.wr(order[i].slot).pos = int32(i)
 	}
 }
 
@@ -606,7 +807,7 @@ func (s *State) finish() {
 		if id < 0 {
 			continue
 		}
-		st := &s.ts[slot]
+		st := s.rd(int32(slot))
 		if st.pos < 0 {
 			panic(fmt.Sprintf("sim: task %v never scheduled (cyclic task graph?)", a.Task[slot]))
 		}

@@ -158,3 +158,40 @@ func TestAdjScaleFuzz(t *testing.T) {
 	// And a fresh instance still sees the original structure.
 	checkGraphsIdentical(t, plan.Base(), plan.Instance())
 }
+
+// TestInstanceSharesIDBacking pins a property a consumer depends on:
+// sim.State.CloneFor validates its target graph in O(1) by comparing
+// the address of the first Adj.ID element — identical backing proves
+// identical tasks. That shortcut is sound only while a fresh Instance
+// really aliases the frozen base's ID array until its first structural
+// mutation; if Instance ever starts copying eagerly, CloneFor silently
+// degrades to its O(n) element compare, and this test names the
+// dependency instead of letting the regression hide.
+func TestInstanceSharesIDBacking(t *testing.T) {
+	g := mlp()
+	topo := device.NewSingleNode(4, "P100")
+	plan := Compile(g, topo, config.DataParallel(g, topo), perfmodel.NewAnalyticModel(), Options{})
+
+	base, inst := plan.Base().Adj().ID, plan.Instance().Adj().ID
+	if len(base) == 0 || len(inst) != len(base) {
+		t.Fatalf("adjacency sizes diverge: base %d, instance %d", len(base), len(inst))
+	}
+	if &base[0] != &inst[0] {
+		t.Fatal("fresh instance does not alias the base's Adj.ID backing")
+	}
+
+	// After the first mutation the instance must have faulted the array
+	// private (materialize) — same values for untouched slots, its own
+	// backing.
+	mut := plan.Instance()
+	ops := g.ComputeOps()
+	rng := rand.New(rand.NewSource(3))
+	op := ops[rng.Intn(len(ops))]
+	mut.ReplaceConfig(op.ID, config.RandomConfig(op, topo, rng))
+	if got := mut.Adj().ID; &got[0] == &base[0] {
+		t.Fatal("mutated instance still writes the base's Adj.ID backing")
+	}
+	if &base[0] != &plan.Base().Adj().ID[0] {
+		t.Fatal("base rebuilt its own adjacency on an instance mutation")
+	}
+}

@@ -107,3 +107,65 @@ func TestBenchPR8ChainSetupImproves(t *testing.T) {
 		}
 	}
 }
+
+// TestBenchPR9SparseTimingImproves pins the sparse-timing-state
+// acceptance criteria in the committed artifact: BENCH_pr9.json must
+// show (a) BenchmarkChainSetupSynth100k/shared-plan allocating at least
+// 5x fewer bytes per op than the deep-copy baseline recorded in the
+// same file (CloneFor now shares timing pages copy-on-write), (b)
+// BenchmarkDeltaSimulation/synth-50k at least 1.5x faster in ns/op than
+// its in-file baseline, and (c) the ProposalBatch sweep behind the
+// pinned search.DefaultProposalBatch present in the tracked set with
+// batch=1 the measured winner on both synthetic classes.
+func TestBenchPR9SparseTimingImproves(t *testing.T) {
+	f, err := benchjson.Load("BENCH_pr9.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string) (base, cur benchjson.Entry) {
+		t.Helper()
+		base, ok := f.Baseline[name]
+		if !ok {
+			t.Fatalf("%s missing from baseline", name)
+		}
+		cur, ok = f.Benchmarks[name]
+		if !ok {
+			t.Fatalf("%s missing from benchmarks", name)
+		}
+		return base, cur
+	}
+
+	clone := "BenchmarkChainSetupSynth100k/shared-plan"
+	base, cur := check(clone)
+	if base.BytesPerOp <= 0 || cur.BytesPerOp <= 0 {
+		t.Fatalf("%s: bytes/op not recorded (baseline %v, current %v) — run with -benchmem", clone, base.BytesPerOp, cur.BytesPerOp)
+	}
+	if cur.BytesPerOp*5 > base.BytesPerOp {
+		t.Fatalf("%s: %v B/op is not a >=5x reduction of the baseline %v B/op", clone, cur.BytesPerOp, base.BytesPerOp)
+	}
+
+	delta := "BenchmarkDeltaSimulation/synth-50k"
+	base, cur = check(delta)
+	if cur.NsPerOp*1.5 > base.NsPerOp {
+		t.Fatalf("%s: %v ns/op is not a >=1.5x improvement of the baseline %v ns/op", delta, cur.NsPerOp, base.NsPerOp)
+	}
+
+	for _, model := range []string{"synth-2k", "synth-50k"} {
+		winner, ok := f.Benchmarks["BenchmarkMCMCProposalBatch/"+model+"/batch=1"]
+		if !ok {
+			t.Errorf("ProposalBatch sweep missing batch=1 on %s", model)
+			continue
+		}
+		for _, batch := range []string{"4", "8", "16"} {
+			name := "BenchmarkMCMCProposalBatch/" + model + "/batch=" + batch
+			e, ok := f.Benchmarks[name]
+			if !ok {
+				t.Errorf("%s missing from benchmarks: the sweep is part of the tracked set", name)
+				continue
+			}
+			if e.NsPerOp < winner.NsPerOp {
+				t.Errorf("%s (%v ns/op) beats batch=1 (%v ns/op): the pinned default no longer matches the committed sweep", name, e.NsPerOp, winner.NsPerOp)
+			}
+		}
+	}
+}
