@@ -48,6 +48,7 @@ func main() {
 		cacheSize      = flag.Int("cache-size", 256, "strategy cache entries (0 default, negative disables)")
 		workers        = flag.Int("workers", 0, "size of the process-wide worker pool (0 = all CPUs)")
 		costProfile    = flag.String("cost-profile", "", "fitted cost profile JSON to price virtual-time budgets (see flexflow -calibrate)")
+		locality       = flag.String("locality", "", "default MCMC proposal-locality policy for requests that set none (uniform, late-biased, stratified, measured)")
 		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "how long running searches get to finish on shutdown")
 		pprofAddr      = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 	)
@@ -82,11 +83,15 @@ func main() {
 		}()
 	}
 
+	if _, err := flexflow.ParseLocality(*locality); err != nil {
+		log.Fatalf("flexflowd: -locality: %v", err)
+	}
 	srv := server.New(server.Options{
-		MaxInflight:    *maxInflight,
-		DefaultTimeout: *defaultTimeout,
-		MaxTimeout:     *maxTimeout,
-		CacheSize:      *cacheSize,
+		MaxInflight:     *maxInflight,
+		DefaultTimeout:  *defaultTimeout,
+		MaxTimeout:      *maxTimeout,
+		CacheSize:       *cacheSize,
+		DefaultLocality: *locality,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv}
 

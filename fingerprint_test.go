@@ -26,7 +26,10 @@ func fpGraph() *Graph {
 // failure here means every persisted cache key just got invalidated;
 // update the constant only if that is the intent.
 func TestFingerprintStable(t *testing.T) {
-	const want = "4a94a94169e057b63af998c158ed98fa529bbcfce777c1578ecb2053f25cd7ee"
+	// v2 layout: the opts line gained locality=<policy> (and the
+	// version tag moved to 2), re-pinned deliberately in the PR that
+	// added Options.Locality.
+	const want = "96c95078caf282e60aac2ae43d5b54362754442c201e5d6b938fab1d610538c5"
 	got, err := Fingerprint(Problem{Graph: fpGraph(), Topology: NewSingleNode(4, "P100")}, "mcmc",
 		OptimizeOptions{MaxIters: 100, Seed: 7})
 	if err != nil {
@@ -34,6 +37,25 @@ func TestFingerprintStable(t *testing.T) {
 	}
 	if got != want {
 		t.Fatalf("fingerprint drifted:\n got  %s\n want %s\nthe cache-key layout changed — if deliberate, bump FingerprintVersion and re-pin", got, want)
+	}
+	// The Locality option is result-affecting, so a set policy pins its
+	// own digest — and "" vs "uniform" are the same walk by contract,
+	// so they must share a key (the normalization the opts line hashes).
+	gotLate, err := Fingerprint(Problem{Graph: fpGraph(), Topology: NewSingleNode(4, "P100")}, "mcmc",
+		OptimizeOptions{MaxIters: 100, Seed: 7, Locality: "late-biased"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotLate == want {
+		t.Fatal("locality=late-biased shares the default key; the policy is result-affecting and must not alias")
+	}
+	gotUniform, err := Fingerprint(Problem{Graph: fpGraph(), Topology: NewSingleNode(4, "P100")}, "mcmc",
+		OptimizeOptions{MaxIters: 100, Seed: 7, Locality: "uniform"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotUniform != want {
+		t.Fatalf("locality=uniform must alias the unset default (same walk):\n got  %s\n want %s", gotUniform, want)
 	}
 }
 
@@ -117,10 +139,60 @@ func TestFingerprintCollisions(t *testing.T) {
 	check("budget length", baseProblem(), "mcmc", OptimizeOptions{MaxIters: 100, Seed: 7, Budget: 2 * time.Second})
 	check("maxdegree", baseProblem(), "optcnn", OptimizeOptions{MaxDegree: 2})
 	check("maxcandidates", baseProblem(), "exhaustive", OptimizeOptions{MaxCandidatesPerOp: 3})
+	check("locality late-biased", baseProblem(), "mcmc", OptimizeOptions{MaxIters: 100, Seed: 7, Locality: "late-biased"})
+	check("locality stratified", baseProblem(), "mcmc", OptimizeOptions{MaxIters: 100, Seed: 7, Locality: "stratified"})
+	check("locality measured", baseProblem(), "mcmc", OptimizeOptions{MaxIters: 100, Seed: 7, Locality: "measured"})
 	g := fpGraph()
 	topo := NewSingleNode(4, "P100")
 	check("initial", Problem{Graph: g, Topology: topo}, "mcmc",
 		OptimizeOptions{MaxIters: 100, Seed: 7, Initial: DataParallel(g, topo)})
+
+	if _, err := Fingerprint(baseProblem(), "mcmc", OptimizeOptions{Locality: "nope"}); err == nil {
+		t.Error("unknown locality fingerprinted without error")
+	}
+}
+
+// TestFingerprintMeasuredEMAExcluded pins why the measured policy's
+// per-op EMA is absent from the fingerprint: it is derived per-chain
+// runtime state, not an input. The EMA *is* result-affecting — it
+// steers the walk — but it is computed deterministically from inputs
+// the key already hashes (graph, topology, seed, the policy itself),
+// so hashing it would add nothing and would make the key depend on
+// having already run the search. The test asserts both halves: a
+// measured run leaves the fingerprint untouched, and two measured runs
+// with equal fingerprints produce bit-identical strategies (the cache
+// soundness the exclusion rests on).
+func TestFingerprintMeasuredEMAExcluded(t *testing.T) {
+	p := Problem{Graph: fpGraph(), Topology: NewSingleNode(4, "P100")}
+	opts := OptimizeOptions{MaxIters: 120, Seed: 7, Locality: "measured"}
+
+	before, err := Fingerprint(p, "mcmc", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := GetOptimizer("mcmc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() Result {
+		res, err := opt.Optimize(t.Context(), p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a := run()
+	after, err := Fingerprint(p, "mcmc", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Fatalf("running a measured search changed the fingerprint: %s -> %s", before, after)
+	}
+	b := run()
+	if a.BestCost != b.BestCost || !a.Best.Equal(b.Best) {
+		t.Fatalf("equal-fingerprint measured runs diverged: %v vs %v", a.BestCost, b.BestCost)
+	}
 }
 
 // TestFingerprintCostProfile pins the budget-pricing leg: for budgeted

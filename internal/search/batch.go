@@ -62,6 +62,20 @@ func EvaluateBatch(plan *taskgraph.Plan, base *sim.State, props []Proposal) []ti
 // themselves: replace the last proposal's op with the desired config.
 // tg and st are mutated; cur is only read.
 func EvaluateBatchFrom(tg *taskgraph.TaskGraph, st *sim.State, cur *config.Strategy, props []Proposal) []time.Duration {
+	return EvaluateBatchFromStats(tg, st, cur, props, nil)
+}
+
+// EvaluateBatchFromStats is EvaluateBatchFrom with per-proposal cost
+// attribution: when suffix is non-nil it must hold len(props) entries,
+// and entry i receives the evaluated-suffix size of proposal i's own
+// delta — the number of tasks ApplyDelta re-evaluated for it
+// (sim.Stats.SuffixTasks), excluding the revert deltas inserted when
+// the batch moves between ops. This is the measurement the
+// LocalityMeasured policy feeds its per-op EMA: the actual price of
+// proposing at that op, not a position-based estimate. A proposal that
+// fell back to a full simulation (Stats.Fallbacks) records 0 — the
+// suffix stat is delta-specific.
+func EvaluateBatchFromStats(tg *taskgraph.TaskGraph, st *sim.State, cur *config.Strategy, props []Proposal, suffix []int64) []time.Duration {
 	costs := make([]time.Duration, len(props))
 	curOp := -1
 	for i, p := range props {
@@ -69,7 +83,11 @@ func EvaluateBatchFrom(tg *taskgraph.TaskGraph, st *sim.State, cur *config.Strat
 			st.ApplyDelta(tg.ReplaceConfig(curOp, cur.Config(curOp).Clone()))
 		}
 		curOp = p.OpID
+		pre := st.Stats.SuffixTasks
 		costs[i] = st.ApplyDelta(tg.ReplaceConfig(p.OpID, p.Cfg))
+		if suffix != nil {
+			suffix[i] = st.Stats.SuffixTasks - pre
+		}
 	}
 	return costs
 }

@@ -136,6 +136,21 @@ type Options struct {
 	// search start, so a fixed cost model keeps budgeted runs
 	// bit-identical across Workers values and pool sizes.
 	Cost CostModel
+	// Locality selects the proposal-locality policy: how a chain picks
+	// the op each draft mutates ("" or LocalityUniform = the classic
+	// uniform walk, bit-identical to a Locality-less search, pinned by
+	// TestMCMCLocalityContract). Non-uniform policies steer proposals
+	// toward ops whose tasks sit late in the chain's current timeline —
+	// the delta simulator re-evaluates only the timeline suffix after
+	// the earliest change point, so late ops are cheap to price — using
+	// only the chain's private RNG stream and per-chain state. Every
+	// policy is therefore its own deterministic walk: for a fixed
+	// (Seed, Locality, ProposalBatch, CostModel) the Result is
+	// bit-identical across Workers values and pool sizes. Ignored in
+	// FullSim mode, which rebuilds from scratch per proposal and has no
+	// standing timeline to score ops against. See docs/ARCHITECTURE.md,
+	// "Proposal locality".
+	Locality Locality
 	// ProposalBatch sets how many proposals a chain drafts per round in
 	// delta mode (0 or 1 = the classic one-at-a-time walk, bit-identical
 	// to a ProposalBatch-less search). A round drafts K proposals from
@@ -226,6 +241,14 @@ func MCMC(ctx context.Context, g *graph.Graph, topo *device.Topology, est perfmo
 	if opts.MaxIters == 0 {
 		opts.MaxIters = DefaultOptions().MaxIters
 	}
+	// Normalize the locality policy once, before the fan-out; an unknown
+	// value is a programmer error (API boundaries validate with
+	// ParseLocality and return the error to the caller).
+	loc, err := ParseLocality(string(opts.Locality))
+	if err != nil {
+		panic(err.Error())
+	}
+	opts.Locality = loc
 	// Resolve the cost model once, before the fan-out: every chain
 	// prices proposals identically even if SetDefaultCostModel is
 	// called while the search runs.
@@ -280,6 +303,7 @@ func MCMC(ctx context.Context, g *graph.Graph, topo *device.Topology, est perfmo
 		best.SimStats.Pops += r.SimStats.Pops
 		best.SimStats.FullSims += r.SimStats.FullSims
 		best.SimStats.DeltaSims += r.SimStats.DeltaSims
+		best.SimStats.SuffixTasks += r.SimStats.SuffixTasks
 		best.SimStats.Fallbacks += r.SimStats.Fallbacks
 		if r.BestCost < best.BestCost {
 			best.Best, best.BestCost = r.Best, r.BestCost
@@ -327,6 +351,15 @@ func runChain(ctx context.Context, g *graph.Graph, topo *device.Topology, est pe
 	emit(opts.OnEvent, ProgressEvent{Algorithm: "mcmc", Chain: chain, Iter: 0, BestCost: cost})
 	ops := g.ComputeOps()
 	allowed := opts.Space.allowed()
+	// Locality state: nil for the uniform policy (the classic Intn path,
+	// untouched) and in FullSim mode (no standing timeline to score ops
+	// against — proposals rebuild from scratch). The picker is per-chain
+	// and consumes only this chain's RNG, preserving the determinism
+	// contract for every pool size.
+	var picker *localityPicker
+	if !opts.FullSim {
+		picker = newLocalityPicker(opts.Locality, ops, st)
+	}
 	lastImprove := time.Duration(0) // virtual time of the last chain-best improvement
 
 	// Incremental memory accounting: running per-device totals plus
@@ -396,6 +429,7 @@ func runChain(ctx context.Context, g *graph.Graph, topo *device.Topology, est pe
 		it      int
 		elapsed time.Duration
 		op      *graph.Op
+		pos     int // op's position in ops (locality EMA attribution)
 		oldCfg  *config.Config
 		newCfg  *config.Config
 		newFP   map[int]int64
@@ -404,6 +438,7 @@ func runChain(ctx context.Context, g *graph.Graph, topo *device.Topology, est pe
 	evalIdx := make([]int, 0, batchSize)
 	props := make([]Proposal, 0, batchSize)
 	costs := make([]time.Duration, batchSize)
+	suffixBuf := make([]int64, batchSize)
 
 	it := 0
 	stopped := false
@@ -435,7 +470,18 @@ func runChain(ctx context.Context, g *graph.Graph, topo *device.Topology, est pe
 				stopped = true
 				break
 			}
-			op := ops[rng.Intn(len(ops))]
+			// The uniform policy keeps the classic draw verbatim — one
+			// Intn per draft, the pre-locality RNG stream; non-uniform
+			// policies draw from the weighted sampler instead (their walk
+			// is its own deterministic sequence).
+			pos := -1
+			var op *graph.Op
+			if picker == nil {
+				op = ops[rng.Intn(len(ops))]
+			} else {
+				pos = picker.pick(rng)
+				op = ops[pos]
+			}
 			// Configs are immutable once built (Strategy.Set swaps
 			// pointers, never writes in place), so drafts and the revert
 			// path can keep old pointers instead of defensive clones.
@@ -451,7 +497,7 @@ func runChain(ctx context.Context, g *graph.Graph, topo *device.Topology, est pe
 					continue // infeasible proposal: rejected outright
 				}
 			}
-			round = append(round, draft{it: it, elapsed: elapsed, op: op, oldCfg: oldCfg, newCfg: newCfg, newFP: newFP})
+			round = append(round, draft{it: it, elapsed: elapsed, op: op, pos: pos, oldCfg: oldCfg, newCfg: newCfg, newFP: newFP})
 		}
 		if len(round) == 0 {
 			continue
@@ -484,8 +530,20 @@ func runChain(ctx context.Context, g *graph.Graph, topo *device.Topology, est pe
 			for _, k := range evalIdx {
 				props = append(props, Proposal{OpID: round[k].op.ID, Cfg: round[k].newCfg})
 			}
-			for i, c := range EvaluateBatchFrom(tg, st, cur, props) {
+			// Measured locality learns from the pass: each proposal's own
+			// evaluated-suffix size (not the revert deltas) feeds the
+			// proposing op's EMA.
+			var suffix []int64
+			if picker != nil && picker.policy == LocalityMeasured {
+				suffix = suffixBuf[:len(props)]
+			}
+			for i, c := range EvaluateBatchFromStats(tg, st, cur, props, suffix) {
 				costs[evalIdx[i]] = c
+			}
+			if suffix != nil {
+				for i, k := range evalIdx {
+					picker.observe(round[k].pos, float64(suffix[i]))
+				}
 			}
 			lastEval = evalIdx[len(evalIdx)-1]
 		}
@@ -528,6 +586,12 @@ func runChain(ctx context.Context, g *graph.Graph, topo *device.Topology, est pe
 				emit(opts.OnEvent, ProgressEvent{
 					Algorithm: "mcmc", Chain: chain, Iter: d.it, BestCost: cost, Elapsed: d.elapsed,
 				})
+			}
+			// The accepted move changed the timeline, so position-based
+			// policies re-score every op against it (measured mode's EMA
+			// adapts through observations instead).
+			if picker != nil && picker.policy != LocalityMeasured {
+				picker.refresh(st)
 			}
 		} else if !opts.FullSim {
 			// Every draft rejected: re-park the instance at the chain's

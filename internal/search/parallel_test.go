@@ -169,6 +169,31 @@ func TestMCMCVirtualBudgetDeterministic(t *testing.T) {
 				workers, pl.Iters, batchRef.Iters, pl.BestCost, batchRef.BestCost)
 		}
 	}
+
+	// Locality policies steer which ops a budgeted walk proposes, not how
+	// the virtual clock ticks: every policy (crossed with the batch knob)
+	// has its own deterministic stopping point and replays bit-identically
+	// across invocations and Workers values. Each (locality, batch) cell
+	// checks against its own Workers=1 reference.
+	for _, loc := range []Locality{LocalityLateBiased, LocalityStratified, LocalityMeasured} {
+		for _, batch := range []int{1, 6} {
+			opts.Locality = loc
+			opts.ProposalBatch = batch
+			opts.Workers = 1
+			locRef := MCMC(context.Background(), g, topo, est, initials, opts)
+			if locRef.Iters == 0 || locRef.Iters >= opts.MaxIters {
+				t.Fatalf("locality=%s batch=%d: budget did not bind: %d proposals", loc, batch, locRef.Iters)
+			}
+			for _, workers := range []int{1, 2, runtime.NumCPU()} {
+				opts.Workers = workers
+				pl := MCMC(context.Background(), g, topo, est, initials, opts)
+				if !same(locRef, pl) {
+					t.Fatalf("locality=%s batch=%d workers=%d budgeted run diverged: %d vs %d iters, %v vs %v",
+						loc, batch, workers, pl.Iters, locRef.Iters, pl.BestCost, locRef.BestCost)
+				}
+			}
+		}
+	}
 }
 
 // Shared estimator caches must not perturb the walk either: the

@@ -2,6 +2,7 @@ package search
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"runtime"
 	"testing"
@@ -28,11 +29,12 @@ func TestMain(m *testing.M) {
 // Workers differentials: resizing the process-wide pool itself (not a
 // per-search cap) between 1, 2 and NumCPU must leave the MCMC result —
 // strategy, cost, proposal counts, stats, trace — bit-identical. The
-// contract holds per batch size (each ProposalBatch value is its own
-// deterministic walk), so the differential sweeps batch ∈ {1, 6, 8}
-// (the default's walk, a non-divisor round size, and a batched round)
-// crossed with the per-search Workers cap — the reference is always
-// (pool=1, Workers=1), the strictest serialization. It does not call
+// contract holds per walk variant — each (ProposalBatch, Locality)
+// pair is its own deterministic walk — so the differential sweeps
+// locality × batch ∈ {1, 6} (the default's walk and a non-divisor
+// batched round) plus the historical (uniform, 8) cell, crossed with
+// the per-search Workers cap — the reference is always (pool=1,
+// Workers=1), the strictest serialization. It does not call
 // t.Parallel: it owns the global pool knob while it runs (non-parallel
 // tests execute alone), and restores it before the parallel phase
 // starts.
@@ -48,13 +50,26 @@ func TestMCMCPoolSizeDifferential(t *testing.T) {
 	opts.Seed = 11
 	initials := Initials(g, topo, 11, true)
 
-	for _, batch := range []int{1, 6, 8} {
-		opts.ProposalBatch = batch
+	type variant struct {
+		batch    int
+		locality Locality
+	}
+	var variants []variant
+	for _, batch := range []int{1, 6} {
+		for _, loc := range Localities() {
+			variants = append(variants, variant{batch, loc})
+		}
+	}
+	variants = append(variants, variant{8, LocalityUniform})
+
+	for _, v := range variants {
+		opts.ProposalBatch = v.batch
+		opts.Locality = v.locality
 		opts.Workers = 1
 		par.SetWorkers(1)
 		ref := MCMC(context.Background(), g, topo, est, initials, opts)
 		if ref.Iters == 0 || ref.Best == nil {
-			t.Fatalf("batch=%d: degenerate reference result: %+v", batch, ref)
+			t.Fatalf("batch=%d locality=%s: degenerate reference result: %+v", v.batch, v.locality, ref)
 		}
 		type cell struct{ pool, workers int }
 		tried := map[cell]bool{{1, 1}: true}
@@ -69,23 +84,26 @@ func TestMCMCPoolSizeDifferential(t *testing.T) {
 			par.SetWorkers(c.pool)
 			opts.Workers = c.workers
 			got := MCMC(context.Background(), g, topo, est, initials, opts)
+			label := func() string {
+				return fmt.Sprintf("batch=%d locality=%s pool=%d workers=%d", v.batch, v.locality, c.pool, c.workers)
+			}
 			if got.BestCost != ref.BestCost || !got.Best.Equal(ref.Best) {
-				t.Errorf("batch=%d pool=%d workers=%d: Best/BestCost %v differ from reference %v", batch, c.pool, c.workers, got.BestCost, ref.BestCost)
+				t.Errorf("%s: Best/BestCost %v differ from reference %v", label(), got.BestCost, ref.BestCost)
 			}
 			if got.Iters != ref.Iters || got.Accepted != ref.Accepted {
-				t.Errorf("batch=%d pool=%d workers=%d: Iters/Accepted %d/%d != reference %d/%d",
-					batch, c.pool, c.workers, got.Iters, got.Accepted, ref.Iters, ref.Accepted)
+				t.Errorf("%s: Iters/Accepted %d/%d != reference %d/%d",
+					label(), got.Iters, got.Accepted, ref.Iters, ref.Accepted)
 			}
 			if got.SimStats != ref.SimStats {
-				t.Errorf("batch=%d pool=%d workers=%d: SimStats %+v != reference %+v", batch, c.pool, c.workers, got.SimStats, ref.SimStats)
+				t.Errorf("%s: SimStats %+v != reference %+v", label(), got.SimStats, ref.SimStats)
 			}
 			if len(got.Trace) != len(ref.Trace) {
-				t.Errorf("batch=%d pool=%d workers=%d: trace length %d != reference %d", batch, c.pool, c.workers, len(got.Trace), len(ref.Trace))
+				t.Errorf("%s: trace length %d != reference %d", label(), len(got.Trace), len(ref.Trace))
 				continue
 			}
 			for i := range ref.Trace {
 				if got.Trace[i] != ref.Trace[i] {
-					t.Errorf("batch=%d pool=%d workers=%d: trace[%d] = %+v != reference %+v", batch, c.pool, c.workers, i, got.Trace[i], ref.Trace[i])
+					t.Errorf("%s: trace[%d] = %+v != reference %+v", label(), i, got.Trace[i], ref.Trace[i])
 					break
 				}
 			}

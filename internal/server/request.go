@@ -57,6 +57,7 @@ type requestOptions struct {
 	MaxDegree          int     `json:"max_degree,omitempty"`
 	MaxCandidatesPerOp int     `json:"max_candidates_per_op,omitempty"`
 	FullSim            bool    `json:"full_sim,omitempty"`
+	Locality           string  `json:"locality,omitempty"`
 	TimeoutMS          int64   `json:"timeout_ms,omitempty"`
 }
 
@@ -136,6 +137,17 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*request
 		MaxDegree:          o.MaxDegree,
 		MaxCandidatesPerOp: o.MaxCandidatesPerOp,
 		FullSim:            o.FullSim,
+		Locality:           o.Locality,
+	}
+	// Locality is result-affecting (it participates in the fingerprint
+	// and so in the cache key); resolve the server default for unset
+	// requests and reject unknown policies here as a 400 rather than
+	// failing the search after admission.
+	if opts.Locality == "" {
+		opts.Locality = s.opts.DefaultLocality
+	}
+	if _, err := flexflow.ParseLocality(opts.Locality); err != nil {
+		return nil, err
 	}
 	if len(wire.Initial) > 0 {
 		initial, err := flexflow.ImportStrategy(wire.Initial, g, topo)

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math/rand"
+	"sort"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -168,6 +169,101 @@ func scalePropertyRun(t *testing.T, model string, seed int64, steps int) {
 func TestScalePropertySynth2k(t *testing.T) {
 	for _, seed := range []int64{1, 2, 3} {
 		scalePropertyRun(t, "synth-2k", seed, 10)
+	}
+}
+
+// scaleLocalityPropertyRun is the locality-weighted sibling of
+// scalePropertyRun: instead of a uniform op draw it weights each op by
+// its timeline position the way search's late-biased policy does —
+// weight (1-SuffixHint)² floored at a positive minimum, drawn through a
+// local cumulative-sum sampler (sim cannot import search) and refreshed
+// after every mutation. That makes the walk cluster on late-starting
+// ops, which is exactly the op sequence a locality-aware MCMC feeds
+// ApplyDelta: long runs of small-suffix truncations with occasional
+// deep rebuilds on revert. The delta/full bit-for-bit contract —
+// makespan and every live task's (ready, start, end) after every
+// ApplyDelta — must hold on that distribution too, not just under
+// uniform sampling.
+func scaleLocalityPropertyRun(t *testing.T, model string, seed int64, steps int) {
+	t.Helper()
+	spec, err := models.Get(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := spec.BuildScaled(1)
+	topo := device.NewSingleNode(4, "P100")
+	rng := rand.New(rand.NewSource(seed))
+	tg := taskgraph.Build(g, topo, config.DataParallel(g, topo), perfmodel.NewAnalyticModel(), taskgraph.Options{})
+	st := NewState(tg)
+	st.Simulate()
+	ops := g.ComputeOps()
+
+	// Local late-biased weighted draw over SuffixHint.
+	cum := make([]float64, len(ops))
+	draw := func() *graph.Op {
+		total := 0.0
+		for i, op := range ops {
+			h := st.SuffixHint(op.ID)
+			w := (1 - h) * (1 - h)
+			if w < 0.05 {
+				w = 0.05
+			}
+			total += w
+			cum[i] = total
+		}
+		x := rng.Float64() * total
+		i := sort.SearchFloat64s(cum, x)
+		for i < len(cum) && cum[i] == x {
+			i++
+		}
+		if i >= len(cum) {
+			i = len(cum) - 1
+		}
+		return ops[i]
+	}
+
+	check := func(step int, got time.Duration) {
+		ref := NewState(tg)
+		want := ref.Simulate()
+		if got != want {
+			t.Fatalf("%s seed %d step %d: delta makespan %v != full %v", model, seed, step, got, want)
+		}
+		for _, task := range tg.Tasks {
+			if !tg.Live(task) {
+				continue
+			}
+			gr, gs, ge := st.Times(task)
+			wr, ws, we := ref.Times(task)
+			if gr != wr || gs != ws || ge != we {
+				t.Fatalf("%s seed %d step %d: task %d times (%v,%v,%v) != full (%v,%v,%v)",
+					model, seed, step, task.ID, gr, gs, ge, wr, ws, we)
+			}
+		}
+	}
+	suffixBefore := st.Stats.SuffixTasks
+	for step := 0; step < steps; step++ {
+		op := draw()
+		old := tg.Strat.Config(op.ID).Clone()
+		check(step, st.ApplyDelta(tg.ReplaceConfig(op.ID, config.RandomConfig(op, topo, rng))))
+		if rng.Intn(2) == 0 {
+			check(step, st.ApplyDelta(tg.ReplaceConfig(op.ID, old)))
+		}
+	}
+	if st.Stats.Fallbacks != 0 {
+		t.Fatalf("%s seed %d: %d fixpoint fallbacks (delta path not exercised)", model, seed, st.Stats.Fallbacks)
+	}
+	if st.Stats.SuffixTasks <= suffixBefore {
+		t.Fatalf("%s seed %d: SuffixTasks did not accumulate (%d -> %d)", model, seed, suffixBefore, st.Stats.SuffixTasks)
+	}
+}
+
+// TestScalePropertyLocalitySynth2k runs the locality-weighted walk on
+// the synth-2k DAG — the always-on member of the pair; the 50k-task
+// variant lives behind the scale build tag with the rest of the
+// TestScaleProperty suite.
+func TestScalePropertyLocalitySynth2k(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		scaleLocalityPropertyRun(t, "synth-2k", seed, 10)
 	}
 }
 

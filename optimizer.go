@@ -73,6 +73,16 @@ type OptimizeOptions struct {
 	// FullSim makes every MCMC proposal run the full simulation
 	// algorithm instead of the delta algorithm (the Table 4 ablation).
 	FullSim bool
+	// Locality selects MCMC's proposal-locality policy: "" or "uniform"
+	// (the classic walk, bit-identical to earlier releases),
+	// "late-biased", "stratified", or "measured" — the non-uniform
+	// policies steer proposals toward ops whose tasks sit late in the
+	// chain's current timeline, where the delta simulator re-evaluates
+	// the least (see docs/ARCHITECTURE.md, "Proposal locality"). The
+	// policy changes the resulting strategy, so it participates in
+	// Fingerprint. Unknown names fail Optimize with an error. Ignored in
+	// FullSim mode and by the non-MCMC algorithms.
+	Locality string
 	// Cost explicitly prices proposals for the virtual-time Budget,
 	// overriding the installed cost profile (see SetCostProfile). Nil
 	// uses the profile installed process-wide, falling back to the
@@ -222,6 +232,11 @@ func (mcmcOptimizer) Optimize(ctx context.Context, p Problem, o OptimizeOptions)
 	}
 	opts.Workers = o.Workers
 	opts.FullSim = o.FullSim
+	loc, err := search.ParseLocality(o.Locality)
+	if err != nil {
+		return Result{Algorithm: "mcmc"}, err
+	}
+	opts.Locality = loc
 	opts.Cost = o.Cost
 	opts.OnEvent = o.OnEvent
 	var initials []*Strategy
